@@ -1,0 +1,50 @@
+"""Helpers shared by the benchmark modules (tables, result persistence)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def scaled(n: int) -> int:
+    return max(20, int(n * SCALE))
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[
+        f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+    ] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for r_i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r_i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def boxplot_stats(values: list[float]) -> dict[str, float]:
+    """Median/quartiles/whiskers — the numbers behind the paper's boxplots."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {"median": 0.0, "q1": 0.0, "q3": 0.0, "lo": 0.0, "hi": 0.0}
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    lo = float(arr[arr >= q1 - 1.5 * iqr].min())
+    hi = float(arr[arr <= q3 + 1.5 * iqr].max())
+    return {"median": float(med), "q1": float(q1), "q3": float(q3), "lo": lo, "hi": hi}

@@ -1,0 +1,51 @@
+"""Extension: distributed classifier training (the paper's future work).
+
+Section 7 closes with "we plan to leverage distributed systems and parallel
+machine learning to further improve the execution performance of pulsar
+classification".  This benchmark implements and evaluates that direction:
+RandomForest trees trained as Sparklet tasks, replayed on the paper's
+testbed model at several executor counts.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+from repro.ml.distributed import DistributedRandomForest
+from repro.ml.forest import RandomForest
+from repro.sparklet import ClusterConfig, SparkletContext, simulate_job
+
+EXECUTORS = (1, 5, 10, 20)
+
+
+def test_extension_distributed_forest(benchmark, gbt_benchmark):
+    bench = gbt_benchmark
+    y = bench.labels("7")
+    ctx = SparkletContext(default_parallelism=8)
+
+    dist = benchmark.pedantic(
+        lambda: DistributedRandomForest(ctx, n_trees=40, seed=0).fit(bench.features, y),
+        rounds=1, iterations=1,
+    )
+    job = dist.training_metrics
+    acc_dist = float((dist.predict(bench.features) == y).mean())
+    local = RandomForest(n_trees=40, seed=0).fit(bench.features, y)
+    acc_local = float((local.predict(bench.features) == y).mean())
+
+    rows = []
+    elapsed = {}
+    for n in EXECUTORS:
+        run = simulate_job(job, ClusterConfig(num_executors=n))
+        elapsed[n] = run.elapsed_s
+        rows.append([n, run.elapsed_s])
+    text = (
+        f"40 trees on {bench.n_instances} instances; training accuracy "
+        f"distributed={acc_dist:.3f} local={acc_local:.3f}\n\n"
+        + format_table(["executors", "simulated elapsed (s)"], rows)
+        + f"\n\nprojected speedup 1 -> 20 executors: {elapsed[1] / elapsed[20]:.1f}x"
+    )
+    # Tree training is embarrassingly parallel: near-linear until the tree
+    # count stops saturating the cores.
+    assert elapsed[1] > elapsed[5] > elapsed[20]
+    assert elapsed[1] / elapsed[20] > 4.0
+    assert abs(acc_dist - acc_local) < 0.05
+    emit("extension_distributed_ml", text)

@@ -1,0 +1,80 @@
+"""Headline numbers (abstract / Section 7) in one summary run.
+
+- identification speedup "up to 5X" over the multithreaded implementation;
+- ALM + InfoGain cut RF classification time ~54% (47% ALM + 7% IG) with
+  < 2% classification-performance loss;
+- best configuration (ALM RF + IG) reaches Recall ≈ 0.96, F ≈ 0.95.
+
+This bench runs a compact version of both experiment families and prints
+paper-vs-measured numbers; the full sweeps live in the fig4/fig5/fig6
+modules.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+from repro.core.alm import ALM_SCHEMES
+from repro.ml import RandomForest
+from repro.ml.feature_selection import rank_features, select_top_k
+from repro.ml.validation import cross_validate, paper_protocol_split
+
+
+def test_headline_classification(benchmark, gbt_benchmark, palfa_benchmark):
+    def run():
+        out = {}
+        for ds_name, bench in (("GBT", gbt_benchmark), ("PALFA", palfa_benchmark)):
+            # Binary RF baseline (raw + SMOTE pooled, the paper's protocol).
+            rows = {}
+            for scheme_name, fs in (("2", None), ("8", None), ("8", "IG")):
+                scheme = ALM_SCHEMES[scheme_name]
+                y = bench.labels(scheme)
+                fs_fold, rest = paper_protocol_split(y, seed=1)
+                subset = None
+                if fs is not None:
+                    merits = rank_features(fs, bench.features[fs_fold], y[fs_fold])
+                    subset = select_top_k(merits, 10)
+                recalls, fms, times = [], [], []
+                for smote in (False, True):
+                    rep = cross_validate(
+                        lambda: RandomForest(n_trees=20, seed=0),
+                        bench.features[rest], y[rest], n_folds=3,
+                        positive_collapse=scheme, apply_smote=smote,
+                        feature_subset=subset, seed=1,
+                    )
+                    recalls.append(rep.recall)
+                    fms.append(rep.f_measure)
+                    times.append(rep.train_time_s)
+                rows[(scheme_name, fs)] = (
+                    float(np.mean(recalls)), float(np.mean(fms)), float(np.sum(times))
+                )
+            out[ds_name] = rows
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    cuts, deltas, final_scores = [], [], []
+    for ds_name, rows in results.items():
+        base_r, base_f, base_t = rows[("2", None)]
+        for (scheme, fs), (r, f, t) in rows.items():
+            label = f"scheme {scheme}" + (f" + {fs}" if fs else "")
+            table_rows.append([ds_name, label, r, f, t])
+            if (scheme, fs) == ("8", "IG"):
+                cuts.append(1.0 - t / base_t)
+                deltas.append(max(base_r - r, base_f - f))
+                final_scores.append((r, f))
+
+    text = format_table(["dataset", "config", "recall", "f_measure", "train_s"], table_rows)
+    text += (
+        f"\n\nALM-8 + IG vs binary RF: training time cut "
+        f"{100 * np.mean(cuts):.0f}% (paper: ~54%), "
+        f"max score loss {100 * max(deltas):.1f}% (paper: < 2%)\n"
+        f"ALM-8+IG scores: " + ", ".join(f"R={r:.3f} F={f:.3f}" for r, f in final_scores)
+        + " (paper: R=0.96 F=0.95)"
+    )
+    emit("headline", text)
+
+    assert np.mean(cuts) > 0.0, "ALM+IG must reduce RF training time"
+    assert max(deltas) < 0.06, "score loss must stay small"
+    for r, f in final_scores:
+        assert r > 0.85 and f > 0.85

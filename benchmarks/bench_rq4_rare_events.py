@@ -1,0 +1,93 @@
+"""RQ4: are ALM classifiers better on the most mis-classified instances?
+
+The paper lists every positive instance with the classifiers that got it
+right, takes the instances missed by 75–99% of all classifiers, and finds
+ALM classifiers over three times likelier than binary ones to classify
+those correctly (over twice in the 90–99% band), with RF dominating the
+correct classifications.
+
+This benchmark reproduces the *analysis pipeline* faithfully and reports
+the measured outcome.  **On the synthetic benchmarks the paper's direction
+does not reproduce**: our hardest positives are isolated noise-boundary
+pulses rather than rare-but-structured source types, and for such
+instances a binarized multiclass prediction is structurally conservative —
+in any mixed region the union of pulsar subclasses can outvote non-pulsar
+for a binary model while no single subclass does for a multiclass one.
+Three multiclass SMOTE policies (subclass-equalize, equal-share,
+full-balance) were tested and none flips the direction; see EXPERIMENTS.md
+for the sensitivity data.  The assertions below therefore pin the analysis
+invariants and record the measured ratio rather than asserting the paper's
+direction.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+from repro.ml.validation import most_misclassified
+
+LEARNERS = ("MPN", "SMO", "JRip", "J48", "PART", "RF")
+
+
+def _correct_rate(grid, ds, schemes, hard_idx) -> float:
+    """Fraction of (classifier, hard instance) decisions that were correct."""
+    total = correct = 0
+    for (g_ds, scheme, _learner, _smote), rep in grid.items():
+        if g_ds != ds or scheme not in schemes:
+            continue
+        for i in hard_idx:
+            v = rep.instance_correct.get(int(i))
+            if v is None:
+                continue
+            total += 1
+            correct += int(v)
+    return correct / total if total else 0.0
+
+
+def test_rq4_most_misclassified(benchmark, trial_grid, gbt_benchmark, palfa_benchmark):
+    grid = benchmark(lambda: trial_grid)
+
+    rows = []
+    rf_dominates = []
+    for ds, bench in (("GBT", gbt_benchmark), ("PALFA", palfa_benchmark)):
+        reports = {k: v for k, v in grid.items() if k[0] == ds}
+        hard = most_misclassified(reports, bench.is_pulsar, miss_range=(0.75, 0.99))
+        assert hard, "the hard-instance band must be non-empty"
+        # Hard instances must be genuinely hard: every one was missed by at
+        # least three quarters of the classifiers.
+        binary_rate = _correct_rate(grid, ds, {"2"}, hard)
+        alm_rate = _correct_rate(grid, ds, {"4", "7", "8"}, hard)
+        assert 0.0 <= binary_rate <= 0.35 and 0.0 <= alm_rate <= 0.35
+        ratio = alm_rate / binary_rate if binary_rate > 0 else float("inf")
+
+        # RF vs other learners on the hard instances (the paper: RF accounts
+        # for more correct classifications than all others combined).
+        rf_correct = other_correct = 0
+        for (g_ds, scheme, learner, _smote), rep in grid.items():
+            if g_ds != ds or scheme == "4*":
+                continue
+            n = sum(int(rep.instance_correct.get(int(i)) or False) for i in hard)
+            if learner == "RF":
+                rf_correct += n
+            else:
+                other_correct += n
+        avg_other = other_correct / max(len(LEARNERS) - 1, 1)
+        rf_dominates.append(rf_correct >= avg_other)
+        rows.append([ds, len(hard), binary_rate, alm_rate, ratio, rf_correct,
+                     round(avg_other, 1)])
+
+    text = format_table(
+        ["dataset", "n_hard", "binary_correct", "alm_correct", "alm/binary",
+         "RF_correct", "avg_other_learner"],
+        rows,
+    )
+    finite = [r[4] for r in rows if np.isfinite(r[4])]
+    text += (
+        f"\n\nRQ4 measured: ALM/binary correct-classification ratio on the "
+        f"hardest positives = {np.mean(finite):.2f} (paper: 2-3x in favour of "
+        f"ALM).  NOT REPRODUCED on synthetic data — see module docstring and "
+        f"EXPERIMENTS.md for the analysis.\n"
+        f"RF dominates hard-instance classifications on "
+        f"{sum(rf_dominates)}/{len(rf_dominates)} data sets (paper: RF beat "
+        f"all other learners combined)."
+    )
+    emit("rq4_rare_events", text)

@@ -1,0 +1,84 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic surveys.  Workload sizes are scaled down from the paper's
+(105k-instance benchmarks, 10.2 GB SPE sets) so a full run finishes in
+minutes on one core; set ``REPRO_BENCH_SCALE`` > 1 to enlarge them.
+Each module prints its table AND writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import scaled
+from repro.astro import GBT350DRIFT, PALFA
+from repro.astro.benchmark import Benchmark, cached_benchmark
+
+
+@pytest.fixture(scope="session")
+def gbt_benchmark() -> Benchmark:
+    """GBT350Drift-like labeled benchmark (paper: 5,204 pos / 100,000 neg;
+    scaled to the same ~20:1 imbalance)."""
+    return cached_benchmark(
+        GBT350DRIFT,
+        n_pulsars=18,
+        target_positive=scaled(500),
+        target_negative=scaled(10000),
+        rrat_fraction=0.2,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def palfa_benchmark() -> Benchmark:
+    """PALFA-like labeled benchmark (paper: 3,170 pos / 100,000 neg;
+    scaled to the same ~31:1 imbalance)."""
+    return cached_benchmark(
+        PALFA,
+        n_pulsars=18,
+        target_positive=scaled(320),
+        target_negative=scaled(10000),
+        rrat_fraction=0.2,
+        seed=1,
+    )
+
+
+def learner_factories() -> dict:
+    """The six Table 5 learners, scaled for benchmark-sized data sets."""
+    from repro.ml import J48, JRip, MLP, PART, SMO, RandomForest
+
+    return {
+        "MPN": lambda: MLP(epochs=100, batch_size=512, seed=0),
+        "SMO": lambda: SMO(max_per_machine=300, max_passes=1, seed=0),
+        "JRip": lambda: JRip(seed=0),
+        "J48": lambda: J48(),
+        "PART": lambda: PART(),
+        "RF": lambda: RandomForest(n_trees=20, seed=0),
+    }
+
+
+@pytest.fixture(scope="session")
+def trial_grid(gbt_benchmark, palfa_benchmark):
+    """The paper's classification trial grid (Section 6.2), scaled.
+
+    2 data sets x 5 ALM schemes x 6 learners x {raw, SMOTE} — each a
+    stratified 3-fold CV run (paper: 5-fold) with timing.  Returns
+    ``{(dataset, scheme, learner, smote): ClassificationReport}``.
+    """
+    from repro.core.alm import ALM_SCHEMES
+    from repro.ml.validation import cross_validate
+
+    factories = learner_factories()
+    results = {}
+    for ds_name, bench in (("GBT", gbt_benchmark), ("PALFA", palfa_benchmark)):
+        for scheme_name in ("2", "4*", "4", "7", "8"):
+            scheme = ALM_SCHEMES[scheme_name]
+            y = bench.labels(scheme)
+            for learner, factory in factories.items():
+                for smote in (False, True):
+                    results[(ds_name, scheme_name, learner, smote)] = cross_validate(
+                        factory, bench.features, y, n_folds=3,
+                        positive_collapse=scheme, apply_smote=smote, seed=5,
+                    )
+    return results

@@ -1,0 +1,80 @@
+"""Figure 1 as data: a single pulse search candidate for B1853+01.
+
+Regenerates the three subplot series of the paper's Fig. 1 — SNR vs DM,
+SNR vs time, and DM vs time — as ASCII scatter plots, and emphasizes two
+identified single pulses the way the figure highlights "single pulse#1"
+and "single pulse#2".  Also shows the granularity contrast: the DPG-mode
+search of the 2016 paper finds ~1 candidate where the single pulse search
+finds hundreds.
+
+Run:  python examples/candidate_plot.py
+"""
+
+import numpy as np
+
+from repro.astro import GBT350DRIFT, generate_observation
+from repro.astro.population import b1853_like
+from repro.core.rapid import run_rapid_dpg, run_rapid_observation
+
+
+def ascii_scatter(x, y, marks=None, width=72, height=16, title=""):
+    """Minimal ASCII scatter plot; ``marks`` is a boolean emphasis mask."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    grid = [[" "] * width for _ in range(height)]
+    if x.size:
+        x0, x1 = x.min(), x.max() or 1.0
+        y0, y1 = y.min(), y.max()
+        xs = ((x - x0) / max(x1 - x0, 1e-12) * (width - 1)).astype(int)
+        ys = ((y - y0) / max(y1 - y0, 1e-12) * (height - 1)).astype(int)
+        order = np.argsort(marks.astype(int)) if marks is not None else range(x.size)
+        for i in order:
+            char = "#" if marks is not None and marks[i] else "."
+            grid[height - 1 - ys[i]][xs[i]] = char
+    lines = [title] + ["|" + "".join(row) + "|" for row in grid]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    obs = generate_observation(GBT350DRIFT, [b1853_like()], seed=1853,
+                               n_noise_clusters=50, n_rfi_bursts=2)
+    result = run_rapid_observation(obs)
+    n_dpg = run_rapid_dpg(obs)
+    print(f"B1853+01 observation: {len(obs.spes)} single pulse events, "
+          f"{len(obs.clusters)} clusters")
+    print(f"single pulses identified: {result.n_pulses} "
+          f"(DPG-mode search of the 2016 paper finds {n_dpg}; the paper "
+          f"reports 188 vs 1)\n")
+
+    dms = np.array([s.dm for s in obs.spes])
+    snrs = np.array([s.snr for s in obs.spes])
+    times = np.array([s.time_s for s in obs.spes])
+
+    # Emphasize the two brightest identified pulses from the pulsar, as in
+    # the paper's figure.
+    positives = [p for p in result.pulses if p.source_name == "B1853+01"]
+    top2 = sorted(positives, key=lambda p: -p.features.MaxSNR)[:2]
+    marks = np.zeros(len(obs.spes), dtype=bool)
+    for pulse in top2:
+        window = (
+            (times >= pulse.features.StartTime)
+            & (times <= pulse.features.StopTime)
+            & (dms >= pulse.features.SNRPeakDM - pulse.features.DMRange)
+            & (dms <= pulse.features.SNRPeakDM + pulse.features.DMRange)
+        )
+        marks |= window
+    for i, pulse in enumerate(top2, start=1):
+        print(f"single pulse#{i}: SNRPeakDM={pulse.features.SNRPeakDM:.1f} "
+              f"MaxSNR={pulse.features.MaxSNR:.1f} "
+              f"t=[{pulse.features.StartTime:.2f}, {pulse.features.StopTime:.2f}] s")
+
+    print()
+    print(ascii_scatter(dms, snrs, marks, title="SNR vs DM  (top subplot)"))
+    print()
+    print(ascii_scatter(times, snrs, marks, title="SNR vs time (middle subplot)"))
+    print()
+    print(ascii_scatter(times, dms, marks, title="DM vs time  (bottom subplot; # = emphasized pulses)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Classifier comparison: the paper's stage-4 experiments in miniature.
+
+Builds a labeled benchmark, then walks the Section 6.2 protocol:
+
+- six learners (Table 5) on binary labels,
+- ALM schemes 2/4/7/8 with RandomForest (RQ3/RQ5),
+- feature selection with the five Table 4 rankers on a held-out fold
+  (RQ6/RQ7), reporting the chosen top-10 features.
+
+Run:  python examples/classifier_comparison.py
+"""
+
+import numpy as np
+
+from repro.astro import GBT350DRIFT
+from repro.astro.benchmark import build_benchmark
+from repro.core.alm import ALM_SCHEMES
+from repro.core.features import FEATURE_NAMES
+from repro.ml import (
+    J48,
+    JRip,
+    MLP,
+    PART,
+    RandomForest,
+    SMO,
+    cross_validate,
+    rank_features,
+    select_top_k,
+)
+from repro.ml.validation import paper_protocol_split
+
+
+def main() -> None:
+    print("=== building a GBT350Drift-like labeled benchmark ===")
+    bench = build_benchmark(
+        GBT350DRIFT, n_pulsars=14, target_positive=250, target_negative=2500,
+        rrat_fraction=0.2, seed=3,
+    )
+    print(f"{bench.n_positive} positives / {bench.n_negative} negatives "
+          f"({bench.n_rrat} RRAT pulses)")
+
+    # --- Table 5: the six learners on binary labels ---------------------------
+    print("\n--- six learners, binary labels (3-fold CV) ---")
+    scheme = ALM_SCHEMES["2"]
+    y = bench.labels(scheme)
+    learners = {
+        "MPN": lambda: MLP(epochs=80, seed=0),
+        "SMO": lambda: SMO(max_per_machine=300, max_passes=1, seed=0),
+        "JRip": lambda: JRip(seed=0),
+        "J48": lambda: J48(),
+        "PART": lambda: PART(),
+        "RF": lambda: RandomForest(n_trees=20, seed=0),
+    }
+    for name, factory in learners.items():
+        rep = cross_validate(factory, bench.features, y, n_folds=3,
+                             positive_collapse=scheme)
+        print(f"  {name:5s} {rep.summary()}")
+
+    # --- RQ3/RQ5: ALM schemes with RF ---------------------------------------
+    print("\n--- ALM schemes with RandomForest (raw + SMOTE pooled) ---")
+    for scheme_name in ("2", "4", "7", "8"):
+        scheme = ALM_SCHEMES[scheme_name]
+        y = bench.labels(scheme)
+        recalls, times = [], []
+        for smote in (False, True):
+            rep = cross_validate(lambda: RandomForest(n_trees=20, seed=0),
+                                 bench.features, y, n_folds=3,
+                                 positive_collapse=scheme, apply_smote=smote)
+            recalls.append(rep.recall)
+            times.append(rep.train_time_s)
+        print(f"  scheme {scheme_name:2s}: recall={np.mean(recalls):.3f} "
+              f"train={sum(times):.2f}s")
+
+    # --- RQ6/RQ7: feature selection --------------------------------------------
+    print("\n--- feature selection (top-10 from the held-out fold) ---")
+    scheme = ALM_SCHEMES["7"]
+    y = bench.labels(scheme)
+    fs_fold, rest = paper_protocol_split(y, seed=0)
+    for method in ("IG", "GR", "SU", "Cor", "1R"):
+        merits = rank_features(method, bench.features[fs_fold], y[fs_fold])
+        top = select_top_k(merits, 10)
+        rep = cross_validate(lambda: RandomForest(n_trees=20, seed=0),
+                             bench.features[rest], y[rest], n_folds=3,
+                             positive_collapse=scheme, feature_subset=top)
+        names = ", ".join(FEATURE_NAMES[i] for i in top[:4])
+        print(f"  {method:3s}: recall={rep.recall:.3f} train={rep.train_time_s:.2f}s "
+              f"(top: {names}, ...)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The complete chain: dynamic spectrum → SPEs → clusters → single pulses.
+
+The paper's "raw data" is already dedispersed and event-detected; this
+example starts one step earlier, at the telescope output (Section 3's
+phases 1–3), and runs everything:
+
+1. synthesize a filterbank (channels × samples) with dispersed pulses,
+2. incoherently dedisperse at a ladder of trial DMs,
+3. boxcar single pulse search (the PRESTO analogue) → SPE list,
+4. customized DBSCAN clustering,
+5. Algorithm 1 peak search + 22-feature extraction.
+
+Run:  python examples/from_voltages.py
+"""
+
+import numpy as np
+
+from repro.astro.clustering import SinglePulseDBSCAN
+from repro.astro.filterbank import InjectedPulse, single_pulse_search, synthesize_filterbank
+from repro.core.rapid import run_rapid_on_cluster
+
+
+def main() -> None:
+    truth = [
+        InjectedPulse(time_s=2.0, dm=60.0, width_ms=20.0, amplitude=3.0),
+        InjectedPulse(time_s=5.5, dm=60.0, width_ms=20.0, amplitude=2.4),
+    ]
+    print("=== phase 1: signal collection (synthetic filterbank) ===")
+    fb = synthesize_filterbank(
+        duration_s=8.0, n_channels=48, f_low_mhz=300.0, f_high_mhz=400.0,
+        sample_time_s=2e-3, pulses=truth, seed=7,
+    )
+    print(f"filterbank: {fb.n_channels} channels x {fb.n_samples} samples "
+          f"({fb.f_low_mhz:.0f}-{fb.f_high_mhz:.0f} MHz)")
+    for p in truth:
+        print(f"  injected pulse: t={p.time_s}s DM={p.dm} width={p.width_ms}ms")
+
+    print("\n=== phases 2-3: dedispersion + single pulse search ===")
+    trials = np.arange(10.0, 130.0, 2.5)
+    spes = single_pulse_search(fb, trials, snr_threshold=5.5)
+    print(f"{len(spes)} single pulse events across {trials.size} trial DMs")
+
+    print("\n=== stage 2: customized DBSCAN ===")
+    times = np.array([s.time_s for s in spes])
+    dms = np.array([s.dm for s in spes])
+    snrs = np.array([s.snr for s in spes])
+    steps = dms / 2.5
+    clusterer = SinglePulseDBSCAN(eps_time_s=0.15, eps_dm_steps=4.0, min_samples=3)
+    _labels, clusters = clusterer.fit(times, dms, snrs, steps)
+    print(f"{len(clusters)} clusters "
+          f"(sizes {sorted(c.size for c in clusters)})")
+
+    print("\n=== stage 3: Algorithm 1 search + feature extraction ===")
+    found = 0
+    for cluster in sorted(clusters, key=lambda c: -c.max_snr):
+        idx = np.array(cluster.indices)
+        pulses = run_rapid_on_cluster(
+            times[idx], dms[idx], snrs[idx], cluster_rank=cluster.rank,
+            dm_spacing_of=lambda _d: 2.5,
+        )
+        for pulse in pulses:
+            found += 1
+            f = pulse.features
+            print(f"  single pulse: SNRPeakDM={f.SNRPeakDM:6.1f} "
+                  f"MaxSNR={f.MaxSNR:5.1f} t=[{f.StartTime:.2f},{f.StopTime:.2f}]s "
+                  f"NumSPEs={int(f.NumSPEs)}")
+    print(f"\n{found} single pulses identified; "
+          f"{len(truth)} were injected at DM 60 — compare SNRPeakDM above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: identify and classify single pulses in 60 seconds.
+
+Runs the full Fig. 2 workflow of the paper on a small synthetic survey:
+
+1. synthesize observations of a pulsar population (stage 1: SPE files),
+2. cluster the events with the customized DBSCAN (stage 2: cluster file),
+3. run D-RAPID on the Sparklet engine over a simulated DFS (stage 3),
+4. label pulses with an ALM scheme and train a RandomForest (stage 4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.astro import GBT350DRIFT, synthesize_population
+from repro.core.pipeline import SinglePulsePipeline
+
+
+def main() -> None:
+    print("=== D-RAPID quickstart ===")
+    population = synthesize_population(n_pulsars=8, rrat_fraction=0.25, seed=42)
+    print(f"population: {len(population)} sources "
+          f"({sum(p.is_rrat for p in population)} RRATs)")
+    for pulsar in population[:3]:
+        print(f"  {pulsar.name}: P={pulsar.period_s:.2f}s DM={pulsar.dm:.0f} "
+              f"SNR~{pulsar.mean_snr:.1f}")
+
+    pipeline = SinglePulsePipeline(survey=GBT350DRIFT, scheme="7", seed=42)
+    result = pipeline.run(population, n_observations=4, classify=True)
+
+    print(f"\nobservations: {len(result.observations)}")
+    print(f"clusters searched: {result.drapid.n_clusters}")
+    print(f"single pulses identified: {result.drapid.n_pulses}")
+    print(f"  positives (from known sources): {int(result.is_pulsar.sum())}")
+    print(f"  negatives (noise/RFI):          {int((~result.is_pulsar).sum())}")
+
+    scheme = result.scheme
+    print(f"\nALM scheme {scheme.name} class distribution:")
+    import numpy as np
+
+    for cls, count in zip(scheme.classes, np.bincount(result.labels, minlength=scheme.n_classes)):
+        print(f"  {cls:12s} {count}")
+
+    assert result.report is not None
+    print(f"\nRandomForest (3-fold CV): {result.report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

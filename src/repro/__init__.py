@@ -1,0 +1,23 @@
+"""Reproduction of Devine, Goseva-Popstojanova & Pang (ICPP 2018):
+"Scalable Solutions for Automated Single Pulse Identification and
+Classification in Radio Astronomy".
+
+Subpackages:
+
+- :mod:`repro.sparklet` — Spark-like dataflow engine + cluster simulator
+- :mod:`repro.dfs` — HDFS-like distributed file system simulation
+- :mod:`repro.ml` — the six Weka learners, SMOTE, feature selection, CV
+- :mod:`repro.astro` — synthetic radio surveys and clustering
+- :mod:`repro.core` — RAPID / D-RAPID, features, ALM, the Fig. 2 pipeline
+- :mod:`repro.io` — the csv file formats exchanged between stages
+"""
+
+__version__ = "1.0.0"
+
+PAPER = (
+    "Devine, Goseva-Popstojanova & Pang (2018). Scalable Solutions for "
+    "Automated Single Pulse Identification and Classification in Radio "
+    "Astronomy. ICPP 2018. doi:10.1145/3225058.3225101"
+)
+
+__all__ = ["PAPER", "__version__"]

@@ -1,0 +1,119 @@
+"""Single pulse event (SPE) records and PRESTO-style file blocks.
+
+``single_pulse_search.py`` emits one row per detected event:
+``DM  Sigma(SNR)  Time(s)  Sample  Downfact``.  D-RAPID consumes a large csv
+of all SPEs for a data set plus a smaller cluster file; both carry the same
+descriptive key prefix (data set name, MJD, sky position, beam) which
+becomes the Sparklet pair key (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ObservationKey:
+    """The descriptive prefix shared by SPE and cluster rows."""
+
+    dataset: str
+    mjd: float
+    sky_position: str
+    beam: int
+
+    def to_key(self) -> str:
+        return f"{self.dataset}|{self.mjd:.4f}|{self.sky_position}|{self.beam}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "ObservationKey":
+        parts = key.split("|")
+        if len(parts) != 4:
+            raise ValueError(f"malformed observation key: {key!r}")
+        return cls(parts[0], float(parts[1]), parts[2], int(parts[3]))
+
+
+@dataclass(frozen=True)
+class SPE:
+    """One single pulse event: a detection at one trial DM and time."""
+
+    dm: float
+    snr: float
+    time_s: float
+    sample: int
+    downfact: int = 1
+
+    def to_csv_row(self) -> str:
+        return f"{self.dm:.3f},{self.snr:.3f},{self.time_s:.6f},{self.sample},{self.downfact}"
+
+    @classmethod
+    def from_csv_row(cls, row: str) -> "SPE":
+        parts = row.strip().split(",")
+        if len(parts) != 5:
+            raise ValueError(f"malformed SPE row: {row!r}")
+        return cls(
+            dm=float(parts[0]),
+            snr=float(parts[1]),
+            time_s=float(parts[2]),
+            sample=int(parts[3]),
+            downfact=int(parts[4]),
+        )
+
+
+class SPEBlock:
+    """A set of SPEs for one observation, with vectorized column views."""
+
+    def __init__(self, key: ObservationKey, spes: Sequence[SPE]) -> None:
+        self.key = key
+        self.spes = list(spes)
+
+    def __len__(self) -> int:
+        return len(self.spes)
+
+    def __iter__(self) -> Iterable[SPE]:
+        return iter(self.spes)
+
+    @property
+    def dms(self) -> np.ndarray:
+        return np.array([s.dm for s in self.spes], dtype=float)
+
+    @property
+    def snrs(self) -> np.ndarray:
+        return np.array([s.snr for s in self.spes], dtype=float)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([s.time_s for s in self.spes], dtype=float)
+
+    def sorted_by_dm(self) -> "SPEBlock":
+        return SPEBlock(self.key, sorted(self.spes, key=lambda s: (s.dm, s.time_s)))
+
+    def sorted_by_time(self) -> "SPEBlock":
+        return SPEBlock(self.key, sorted(self.spes, key=lambda s: (s.time_s, s.dm)))
+
+    def subset(self, indices: Iterable[int]) -> "SPEBlock":
+        return SPEBlock(self.key, [self.spes[i] for i in indices])
+
+
+SPE_FILE_HEADER = "# dataset|mjd|sky|beam,DM,Sigma,Time_s,Sample,Downfact"
+CLUSTER_FILE_HEADER = (
+    "# dataset|mjd|sky|beam,cluster_id,n_spes,dm_lo,dm_hi,t_lo,t_hi,max_snr"
+)
+
+
+def spes_to_csv(key: ObservationKey, spes: Iterable[SPE], include_header: bool = False) -> str:
+    """Render SPE rows in the D-RAPID data-file format (key prefix + data)."""
+    lines = [SPE_FILE_HEADER] if include_header else []
+    prefix = key.to_key()
+    lines.extend(f"{prefix},{spe.to_csv_row()}" for spe in spes)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_spe_line(line: str) -> tuple[str, SPE]:
+    """Parse ``key,dm,snr,time,sample,downfact`` → (key, SPE)."""
+    key, _, rest = line.partition(",")
+    if not rest:
+        raise ValueError(f"malformed SPE line: {line!r}")
+    return key, SPE.from_csv_row(rest)

@@ -1,0 +1,190 @@
+"""Survey configurations and observation generation.
+
+Two presets mirror the paper's data sources:
+
+- :data:`GBT350DRIFT` — the Green Bank Telescope 350 MHz drift-scan survey
+  (Boyles et al. 2013): low frequency, 100 MHz bandwidth, single beam.
+- :data:`PALFA` — the Arecibo L-band Feed Array survey (Cordes et al. 2006):
+  1.4 GHz, 300 MHz bandwidth, seven beams.
+
+:func:`generate_observation` composes the population, pulse, noise and RFI
+generators into one labeled observation: an SPE list, clusters found by the
+customized DBSCAN, and each cluster's ground-truth class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.astro.clustering import Cluster, SinglePulseDBSCAN
+from repro.astro.dispersion import DMGrid
+from repro.astro.population import Pulsar
+from repro.astro.pulses import PulseTruth, generate_pulsar_spes
+from repro.astro.rfi import generate_noise_spes, generate_pulse_mimic_spes, generate_rfi_spes
+from repro.astro.spe import SPE, ObservationKey, SPEBlock
+
+
+@dataclass(frozen=True)
+class SurveyConfig:
+    """Receiver/search parameters of one sky survey."""
+
+    name: str
+    center_freq_mhz: float
+    bandwidth_mhz: float
+    sample_time_s: float
+    n_beams: int
+    obs_length_s: float
+    max_dm: float
+    snr_threshold: float = 5.0
+
+    def dm_grid(self, coarsen: float = 1.0) -> DMGrid:
+        return DMGrid(max_dm=self.max_dm, coarsen=coarsen)
+
+
+GBT350DRIFT = SurveyConfig(
+    name="GBT350Drift",
+    center_freq_mhz=350.0,
+    bandwidth_mhz=100.0,
+    sample_time_s=8.192e-5,
+    n_beams=1,
+    obs_length_s=140.0,
+    max_dm=500.0,
+)
+
+PALFA = SurveyConfig(
+    name="PALFA",
+    center_freq_mhz=1400.0,
+    bandwidth_mhz=300.0,
+    sample_time_s=6.4e-5,
+    n_beams=7,
+    obs_length_s=268.0,
+    max_dm=1000.0,
+)
+
+
+@dataclass
+class Observation:
+    """One labeled synthetic observation."""
+
+    key: ObservationKey
+    config: SurveyConfig
+    grid: DMGrid
+    spes: list[SPE]
+    labels: np.ndarray
+    clusters: list[Cluster]
+    pulse_truths: list[PulseTruth] = field(default_factory=list)
+    #: cluster_id -> (pulsar_name | None, is_rrat).  None = noise/RFI cluster.
+    cluster_truth: dict[int, tuple[str | None, bool]] = field(default_factory=dict)
+
+    @property
+    def block(self) -> SPEBlock:
+        return SPEBlock(self.key, self.spes)
+
+    def positives(self) -> list[Cluster]:
+        return [c for c in self.clusters if self.cluster_truth.get(c.cluster_id, (None, False))[0]]
+
+    def negatives(self) -> list[Cluster]:
+        return [c for c in self.clusters if not self.cluster_truth.get(c.cluster_id, (None, False))[0]]
+
+
+def default_clusterer(grid: DMGrid) -> SinglePulseDBSCAN:
+    """Clustering parameters matched to the synthetic event density."""
+    return SinglePulseDBSCAN(
+        eps_time_s=0.08,
+        eps_dm_steps=5.0,
+        min_samples=3,
+        merge_gap_s=0.2,
+    )
+
+
+def generate_observation(
+    config: SurveyConfig,
+    pulsars: list[Pulsar],
+    mjd: float = 55000.0,
+    beam: int = 0,
+    n_noise_clusters: int = 60,
+    n_rfi_bursts: int = 3,
+    n_pulse_mimics: int = 0,
+    grid_coarsen: float = 10.0,
+    seed: int = 0,
+    obs_length_s: float | None = None,
+) -> Observation:
+    """Generate one fully labeled observation.
+
+    Each in-beam pulsar contributes dispersed pulse clusters; noise and RFI
+    contribute negatives.  Cluster ground truth is derived by majority vote
+    of the generating mechanism of the cluster's SPEs.
+    """
+    rng = np.random.default_rng(seed)
+    grid = config.dm_grid(coarsen=grid_coarsen)
+    obs_len = obs_length_s if obs_length_s is not None else config.obs_length_s
+
+    spes: list[SPE] = []
+    origins: list[tuple[str | None, bool]] = []  # per-SPE (source name, is_rrat)
+    truths: list[PulseTruth] = []
+
+    for pulsar in pulsars:
+        p_spes, p_truths = generate_pulsar_spes(
+            pulsar,
+            obs_len,
+            grid,
+            config.center_freq_mhz,
+            config.bandwidth_mhz,
+            sample_time_s=config.sample_time_s,
+            snr_threshold=config.snr_threshold,
+            rng=rng,
+            start_index=len(spes),
+        )
+        spes.extend(p_spes)
+        origins.extend([(pulsar.name, pulsar.is_rrat)] * len(p_spes))
+        truths.extend(p_truths)
+
+    noise = generate_noise_spes(
+        n_noise_clusters, obs_len, grid, config.sample_time_s, config.snr_threshold, rng
+    )
+    spes.extend(noise)
+    origins.extend([(None, False)] * len(noise))
+
+    rfi = generate_rfi_spes(
+        n_rfi_bursts, obs_len, grid, config.sample_time_s, config.snr_threshold, rng
+    )
+    spes.extend(rfi)
+    origins.extend([(None, False)] * len(rfi))
+
+    mimics = generate_pulse_mimic_spes(
+        n_pulse_mimics, obs_len, grid, config.sample_time_s, config.snr_threshold, rng
+    )
+    spes.extend(mimics)
+    origins.extend([(None, False)] * len(mimics))
+
+    key = ObservationKey(
+        dataset=config.name,
+        mjd=mjd,
+        sky_position=pulsars[0].sky_position if pulsars else "J0000+0000",
+        beam=beam,
+    )
+
+    if not spes:
+        return Observation(key, config, grid, [], np.empty(0, dtype=int), [], truths, {})
+
+    times = np.array([s.time_s for s in spes])
+    dms = np.array([s.dm for s in spes])
+    snrs = np.array([s.snr for s in spes])
+    steps = np.array([dms[i] / grid.spacing_at(dms[i]) for i in range(len(spes))])
+
+    clusterer = default_clusterer(grid)
+    labels, clusters = clusterer.fit(times, dms, snrs, steps)
+
+    cluster_truth: dict[int, tuple[str | None, bool]] = {}
+    for cluster in clusters:
+        votes: dict[tuple[str | None, bool], int] = {}
+        for i in cluster.indices:
+            votes[origins[i]] = votes.get(origins[i], 0) + 1
+        winner = max(votes.items(), key=lambda kv: kv[1])[0]
+        # A cluster is a positive only if pulsar SPEs dominate it.
+        pulsar_frac = sum(v for (name, _r), v in votes.items() if name) / cluster.size
+        cluster_truth[cluster.cluster_id] = winner if pulsar_frac >= 0.5 else (None, False)
+
+    return Observation(key, config, grid, spes, labels, clusters, truths, cluster_truth)

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the pipeline stages a survey scientist would run:
+
+- ``generate``  — synthesize a survey and print its statistics
+- ``identify``  — run the full D-RAPID identification pipeline
+- ``classify``  — build a labeled benchmark and cross-validate a learner
+- ``simulate``  — replay an identification job on a configurable cluster
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+SURVEYS = ("GBT350Drift", "PALFA")
+
+
+def _survey(name: str):
+    from repro.astro import GBT350DRIFT, PALFA
+
+    return {"GBT350Drift": GBT350DRIFT, "PALFA": PALFA}[name]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D-RAPID reproduction: single pulse identification and classification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a survey")
+    gen.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    gen.add_argument("--pulsars", type=int, default=8)
+    gen.add_argument("--observations", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+
+    ident = sub.add_parser("identify", help="run the D-RAPID pipeline")
+    ident.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    ident.add_argument("--pulsars", type=int, default=6)
+    ident.add_argument("--observations", type=int, default=3)
+    ident.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="2")
+    ident.add_argument("--seed", type=int, default=0)
+
+    cls = sub.add_parser("classify", help="benchmark a learner")
+    cls.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    cls.add_argument("--learner", choices=["MPN", "SMO", "JRip", "J48", "PART", "RF"],
+                     default="RF")
+    cls.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="7")
+    cls.add_argument("--positives", type=int, default=200)
+    cls.add_argument("--negatives", type=int, default=2000)
+    cls.add_argument("--folds", type=int, default=3)
+    cls.add_argument("--smote", action="store_true")
+    cls.add_argument("--feature-selection", choices=["IG", "GR", "SU", "Cor", "1R"],
+                     default=None)
+    cls.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="replay an identification job on a cluster")
+    sim.add_argument("--survey", choices=SURVEYS, default="PALFA")
+    sim.add_argument("--observations", type=int, default=10)
+    sim.add_argument("--executors", type=int, nargs="+", default=[1, 5, 10, 20])
+    sim.add_argument("--data-gb", type=float, default=10.2,
+                     help="scale the workload to this many GB (paper: 10.2)")
+    sim.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.astro import generate_observation, synthesize_population
+
+    survey = _survey(args.survey)
+    population = synthesize_population(args.pulsars, seed=args.seed)
+    total_spes = total_clusters = total_pos = 0
+    for i in range(args.observations):
+        obs = generate_observation(
+            survey, [population[i % len(population)]], mjd=55000.0 + i,
+            seed=args.seed + i, obs_length_s=min(survey.obs_length_s, 60.0),
+        )
+        total_spes += len(obs.spes)
+        total_clusters += len(obs.clusters)
+        total_pos += len(obs.positives())
+    print(f"survey: {args.survey}")
+    print(f"population: {args.pulsars} sources "
+          f"({sum(p.is_rrat for p in population)} RRATs)")
+    print(f"observations: {args.observations}")
+    print(f"single pulse events: {total_spes}")
+    print(f"clusters: {total_clusters} ({total_pos} from known sources)")
+    return 0
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    from repro.astro import synthesize_population
+    from repro.core.pipeline import SinglePulsePipeline
+
+    pipeline = SinglePulsePipeline(survey=_survey(args.survey), scheme=args.scheme,
+                                   seed=args.seed)
+    population = synthesize_population(args.pulsars, seed=args.seed)
+    result = pipeline.run(population, n_observations=args.observations, classify=False)
+    print(f"clusters searched: {result.drapid.n_clusters}")
+    print(f"single pulses identified: {result.drapid.n_pulses}")
+    print(f"  positives: {int(result.is_pulsar.sum())}")
+    print(f"  negatives: {int((~result.is_pulsar).sum())}")
+    scheme = result.scheme
+    counts = np.bincount(result.labels, minlength=scheme.n_classes)
+    for cls, count in zip(scheme.classes, counts):
+        print(f"  {cls:14s} {count}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.astro.benchmark import build_benchmark
+    from repro.core.alm import ALM_SCHEMES
+    from repro.ml import LEARNERS
+    from repro.ml.feature_selection import rank_features, select_top_k
+    from repro.ml.validation import cross_validate, paper_protocol_split
+
+    bench = build_benchmark(
+        _survey(args.survey), n_pulsars=max(8, args.positives // 25),
+        target_positive=args.positives, target_negative=args.negatives,
+        seed=args.seed,
+    )
+    scheme = ALM_SCHEMES[args.scheme]
+    y = bench.labels(scheme)
+    subset = None
+    X = bench.features
+    if args.feature_selection:
+        fs_fold, rest = paper_protocol_split(y, seed=args.seed)
+        merits = rank_features(args.feature_selection, X[fs_fold], y[fs_fold])
+        subset = select_top_k(merits, 10)
+        X, y = X[rest], y[rest]
+        print(f"feature selection ({args.feature_selection}): kept {subset}")
+    factory = LEARNERS[args.learner]
+    report = cross_validate(
+        lambda: factory(), X, y, n_folds=args.folds,
+        positive_collapse=scheme, apply_smote=args.smote,
+        feature_subset=subset, seed=args.seed,
+    )
+    print(f"{args.learner} on {args.survey} scheme {args.scheme} "
+          f"({bench.n_positive}+/{bench.n_negative}-, smote={args.smote}):")
+    print("  " + report.summary())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.astro import generate_observation, synthesize_population
+    from repro.core.drapid import DRapidDriver
+    from repro.dfs import DataNode, DFSClient
+    from repro.io.spe_files import upload_observations
+    from repro.sparklet import ClusterConfig, SparkletContext, simulate_job
+
+    survey = _survey(args.survey)
+    population = synthesize_population(8, seed=args.seed)
+    observations = [
+        generate_observation(
+            survey, [population[i % len(population)]], mjd=56000.0 + i,
+            beam=i % survey.n_beams, seed=args.seed + 31 * i, obs_length_s=20.0,
+        )
+        for i in range(args.observations)
+    ]
+    dfs = DFSClient([DataNode(f"dn{i}") for i in range(15)], replication=3,
+                    block_size=64 * 1024)
+    data_path, cluster_path = upload_observations(dfs, observations)
+    ctx = SparkletContext(default_parallelism=8)
+    driver = DRapidDriver.with_paper_partitioning(
+        ctx, dfs, grids={survey.name: observations[0].grid},
+        total_cores=2 * max(args.executors),
+    )
+    result = driver.run(data_path, cluster_path)
+    data_scale = args.data_gb * 1024**3 / len(dfs.get(data_path))
+    print(f"identified {result.n_pulses} pulses; replaying at {args.data_gb} GB scale:")
+    for n in args.executors:
+        run = simulate_job(result.metrics,
+                           ClusterConfig(num_executors=n, data_scale=data_scale))
+        spill = (f", spilled {run.total_spilled_bytes / 1024**3:.1f} GiB"
+                 if run.total_spilled_bytes else "")
+        print(f"  {n:3d} executors: {run.elapsed_s:9.1f} s{spill}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "identify": _cmd_identify,
+        "classify": _cmd_classify,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

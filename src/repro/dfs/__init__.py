@@ -1,0 +1,34 @@
+"""A block-based distributed file system simulation (HDFS stand-in).
+
+The paper stores SPE data files and cluster files on HDFS, where a single
+file is split into chunks, replicated, and spread over data nodes.  D-RAPID's
+central trick — partition-aware joins so that cluster metadata and the SPE
+data it refers to are colocated — only makes sense against a file system with
+a block/locality model, which this package provides.
+
+Public API:
+
+- :class:`~repro.dfs.namenode.NameNode` — metadata: file → blocks → replicas.
+- :class:`~repro.dfs.datanode.DataNode` — block storage with capacity limits.
+- :class:`~repro.dfs.client.DFSClient` — put/get/ls/delete, replication
+  placement, datanode failure and re-replication.
+- :class:`~repro.dfs.blocks.Block`, :class:`~repro.dfs.blocks.BlockId`.
+"""
+
+from repro.dfs.blocks import Block, BlockId, DEFAULT_BLOCK_SIZE
+from repro.dfs.namenode import FileEntry, NameNode
+from repro.dfs.datanode import DataNode, DataNodeFullError
+from repro.dfs.client import DFSClient, DFSError, FileNotFoundInDFS
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "DEFAULT_BLOCK_SIZE",
+    "DataNode",
+    "DataNodeFullError",
+    "DFSClient",
+    "DFSError",
+    "FileEntry",
+    "FileNotFoundInDFS",
+    "NameNode",
+]

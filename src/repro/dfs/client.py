@@ -1,0 +1,187 @@
+"""DFS client: the user-facing put/get API plus replication maintenance."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.dfs.blocks import DEFAULT_BLOCK_SIZE, Block, BlockId, split_into_blocks
+from repro.dfs.datanode import DataNode, DataNodeFullError
+from repro.dfs.namenode import NameNode
+
+
+class DFSError(RuntimeError):
+    """Generic DFS failure (placement impossible, block unreadable, ...)."""
+
+
+class FileNotFoundInDFS(DFSError):
+    """Requested path does not exist in the namespace."""
+
+
+class DFSClient:
+    """Front door to a simulated DFS cluster.
+
+    Parameters
+    ----------
+    datanodes:
+        The storage nodes.  At least ``replication`` many are needed to place
+        every block at the requested replication factor.
+    replication:
+        Replica count per block (HDFS default is 3).
+    block_size:
+        Chunking granularity in bytes.
+    seed:
+        Seeds the placement RNG so tests are deterministic.
+    """
+
+    def __init__(
+        self,
+        datanodes: Sequence[DataNode],
+        replication: int = 3,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        seed: int | None = 0,
+    ) -> None:
+        if not datanodes:
+            raise ValueError("need at least one datanode")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.namenode = NameNode()
+        self._nodes: dict[str, DataNode] = {}
+        for node in datanodes:
+            if node.node_id in self._nodes:
+                raise ValueError(f"duplicate datanode id {node.node_id!r}")
+            self._nodes[node.node_id] = node
+        self.replication = replication
+        self.block_size = block_size
+        self._rng = random.Random(seed)
+
+    # -- helpers --------------------------------------------------------------
+    def _live_nodes(self) -> list[DataNode]:
+        return [n for n in self._nodes.values() if n.alive]
+
+    def _place_block(self, block: Block, exclude: set[str] | None = None) -> list[str]:
+        """Choose replica targets: emptiest-first among live nodes that fit."""
+        exclude = exclude or set()
+        candidates = [
+            n for n in self._live_nodes() if n.node_id not in exclude and n.can_fit(block.size)
+        ]
+        # Shuffle before the stable sort so capacity ties break randomly,
+        # spreading blocks instead of piling onto the first node.
+        self._rng.shuffle(candidates)
+        candidates.sort(key=lambda n: n.used_bytes)
+        return [n.node_id for n in candidates]
+
+    # -- public API -------------------------------------------------------------
+    def put(self, path: str, payload: bytes) -> None:
+        """Write ``payload`` at ``path``, chunked and replicated."""
+        if self.namenode.exists(path):
+            raise FileExistsError(f"DFS path already exists: {path}")
+        blocks = split_into_blocks(path, payload, self.block_size)
+        effective = min(self.replication, len(self._live_nodes()))
+        if effective == 0:
+            raise DFSError("no live datanodes")
+        # Store block by block; on any placement failure roll back every
+        # replica written so far, so a failed put leaves no partial state.
+        stored: list[tuple[Block, list[str]]] = []
+        try:
+            for block in blocks:
+                targets = self._place_block(block)[:effective]
+                if len(targets) < effective:
+                    raise DFSError(
+                        f"cannot place block {block.block_id} at replication {effective}: "
+                        f"only {len(targets)} node(s) have space"
+                    )
+                for node_id in targets:
+                    self._nodes[node_id].store(block)
+                stored.append((block, targets))
+        except (DFSError, DataNodeFullError):
+            for block, targets in stored:
+                for node_id in targets:
+                    self._nodes[node_id].drop(block.block_id)
+            raise DFSError(f"put of {path} failed; rolled back") from None
+        self.namenode.create_file(path, len(payload), [b.block_id for b, _t in stored])
+        for block, targets in stored:
+            for node_id in targets:
+                self.namenode.add_replica(block.block_id, node_id)
+
+    def put_text(self, path: str, text: str) -> None:
+        self.put(path, text.encode("utf-8"))
+
+    def get(self, path: str) -> bytes:
+        """Read a whole file, trying each replica of each block in turn."""
+        if not self.namenode.exists(path):
+            raise FileNotFoundInDFS(path)
+        entry = self.namenode.get_file(path)
+        out = bytearray()
+        for bid in entry.block_ids:
+            out.extend(self._read_block(bid).data)
+        return bytes(out)
+
+    def get_text(self, path: str) -> str:
+        return self.get(path).decode("utf-8")
+
+    def _read_block(self, block_id: BlockId) -> Block:
+        replicas = sorted(self.namenode.replicas_of(block_id))
+        self._rng.shuffle(replicas)
+        for node_id in replicas:
+            node = self._nodes.get(node_id)
+            if node is not None and node.has(block_id):
+                return node.read(block_id)
+        raise DFSError(f"all replicas of {block_id} unavailable")
+
+    def read_block(self, block_id: BlockId) -> bytes:
+        """Public single-block read (used by Sparklet input splits)."""
+        return self._read_block(block_id).data
+
+    def delete(self, path: str) -> None:
+        entry = self.namenode.get_file(path)
+        for bid in entry.block_ids:
+            for node_id in self.namenode.replicas_of(bid):
+                node = self._nodes.get(node_id)
+                if node is not None:
+                    node.drop(bid)
+        self.namenode.delete_file(path)
+
+    def ls(self, prefix: str = "") -> list[str]:
+        return self.namenode.list_files(prefix)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    # -- locality (consumed by the Sparklet scheduler) ----------------------
+    def block_locations(self, path: str) -> list[tuple[BlockId, set[str]]]:
+        entry = self.namenode.get_file(path)
+        return [(bid, self.namenode.replicas_of(bid)) for bid in entry.block_ids]
+
+    # -- failure handling --------------------------------------------------------
+    def kill_datanode(self, node_id: str) -> None:
+        """Simulate a datanode crash and trigger re-replication."""
+        node = self._nodes[node_id]
+        node.kill()
+        self.namenode.forget_node(node_id)
+        self.rereplicate()
+
+    def rereplicate(self) -> int:
+        """Restore replication for under-replicated blocks; return count fixed."""
+        fixed = 0
+        effective = min(self.replication, len(self._live_nodes()))
+        for bid in self.namenode.under_replicated(effective):
+            holders = self.namenode.replicas_of(bid)
+            if not holders:
+                continue  # data lost; nothing to copy from
+            try:
+                block = self._read_block(bid)
+            except DFSError:
+                continue
+            needed = effective - len(holders)
+            for node_id in self._place_block(block, exclude=holders)[:needed]:
+                try:
+                    self._nodes[node_id].store(block)
+                except DataNodeFullError:  # raced with other placements
+                    continue
+                self.namenode.add_replica(bid, node_id)
+                fixed += 1
+        return fixed
+
+    def total_stored_bytes(self) -> int:
+        return sum(n.used_bytes for n in self._nodes.values())

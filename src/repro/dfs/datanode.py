@@ -1,0 +1,85 @@
+"""Data node: bounded block storage for the simulated DFS."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.dfs.blocks import Block, BlockId
+
+
+class DataNodeFullError(RuntimeError):
+    """Raised when a block does not fit in the node's remaining capacity."""
+
+
+class DataNode:
+    """Stores block replicas, enforcing a byte-capacity limit.
+
+    ``capacity`` of ``None`` means unbounded (handy for unit tests).  A node
+    can be marked dead to simulate failure; a dead node refuses reads and
+    writes but keeps its blocks so a "revived" node re-exposes them, matching
+    how HDFS treats transient outages.
+    """
+
+    def __init__(self, node_id: str, capacity: int | None = None) -> None:
+        self.node_id = node_id
+        self.capacity = capacity
+        self._blocks: dict[BlockId, Block] = {}
+        self._used = 0
+        self.alive = True
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self._used
+
+    def can_fit(self, size: int) -> bool:
+        return self.alive and size <= self.free_bytes
+
+    # -- block operations -------------------------------------------------
+    def store(self, block: Block) -> None:
+        if not self.alive:
+            raise RuntimeError(f"datanode {self.node_id} is down")
+        if block.block_id in self._blocks:
+            return  # idempotent replica write
+        if not self.can_fit(block.size):
+            raise DataNodeFullError(
+                f"datanode {self.node_id}: block {block.block_id} "
+                f"({block.size} B) exceeds free capacity {self.free_bytes} B"
+            )
+        self._blocks[block.block_id] = block
+        self._used += block.size
+
+    def read(self, block_id: BlockId) -> Block:
+        if not self.alive:
+            raise RuntimeError(f"datanode {self.node_id} is down")
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"datanode {self.node_id} has no block {block_id}") from None
+
+    def drop(self, block_id: BlockId) -> None:
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._used -= block.size
+
+    def has(self, block_id: BlockId) -> bool:
+        return self.alive and block_id in self._blocks
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(list(self._blocks))
+
+    # -- failure simulation -------------------------------------------------
+    def kill(self) -> None:
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DataNode({self.node_id!r}, blocks={len(self._blocks)}, used={self._used})"

@@ -1,0 +1,19 @@
+"""File formats exchanged between pipeline stages (Fig. 2)."""
+
+from repro.io.spe_files import (
+    ClusterRecord,
+    build_cluster_file,
+    build_data_file,
+    parse_cluster_line,
+    read_ml_files,
+    upload_observations,
+)
+
+__all__ = [
+    "ClusterRecord",
+    "build_cluster_file",
+    "build_data_file",
+    "parse_cluster_line",
+    "read_ml_files",
+    "upload_observations",
+]

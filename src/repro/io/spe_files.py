@@ -1,0 +1,135 @@
+"""The csv file formats D-RAPID exchanges through the DFS.
+
+Two inputs (Section 5.1.1):
+
+- **data file** — every SPE of the data set:
+  ``key,DM,Sigma,Time_s,Sample,Downfact`` where ``key`` is the shared
+  descriptive prefix ``dataset|MJD|sky|beam``;
+- **cluster file** — one row per DBSCAN cluster to search:
+  ``key,cluster_id,rank,n_spes,dm_lo,dm_hi,t_lo,t_hi,max_snr,source,is_rrat``.
+
+The trailing ``source``/``is_rrat`` columns carry benchmark ground truth so
+identified pulses can be labeled for supervised learning; production runs
+leave them empty (D-RAPID itself never reads them during the search).
+
+One output:
+
+- **ML file** — one row per identified single pulse
+  (:meth:`repro.core.rapid.SinglePulse.to_ml_row`), later aggregated into
+  the classification benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.astro.spe import SPE_FILE_HEADER, spes_to_csv
+from repro.core.rapid import SinglePulse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.astro.survey import Observation
+    from repro.dfs import DFSClient
+
+CLUSTER_FILE_HEADER = (
+    "# key,cluster_id,rank,n_spes,dm_lo,dm_hi,t_lo,t_hi,max_snr,source,is_rrat"
+)
+
+
+@dataclass(frozen=True)
+class ClusterRecord:
+    """One cluster-file row (the unit of work D-RAPID distributes)."""
+
+    key: str
+    cluster_id: int
+    rank: int
+    n_spes: int
+    dm_lo: float
+    dm_hi: float
+    t_lo: float
+    t_hi: float
+    max_snr: float
+    source: str | None = None
+    is_rrat: bool = False
+
+    def to_line(self) -> str:
+        return (
+            f"{self.key},{self.cluster_id},{self.rank},{self.n_spes},"
+            f"{self.dm_lo:.3f},{self.dm_hi:.3f},{self.t_lo:.6f},{self.t_hi:.6f},"
+            f"{self.max_snr:.3f},{self.source or ''},{int(self.is_rrat)}"
+        )
+
+
+def parse_cluster_line(line: str) -> ClusterRecord:
+    parts = line.rstrip("\n").split(",")
+    if len(parts) != 11:
+        raise ValueError(f"malformed cluster line ({len(parts)} fields): {line!r}")
+    return ClusterRecord(
+        key=parts[0],
+        cluster_id=int(parts[1]),
+        rank=int(parts[2]),
+        n_spes=int(parts[3]),
+        dm_lo=float(parts[4]),
+        dm_hi=float(parts[5]),
+        t_lo=float(parts[6]),
+        t_hi=float(parts[7]),
+        max_snr=float(parts[8]),
+        source=parts[9] or None,
+        is_rrat=bool(int(parts[10])),
+    )
+
+
+def build_data_file(observations: Iterable["Observation"]) -> str:
+    """Concatenate every observation's SPEs into one data-file text."""
+    chunks = [SPE_FILE_HEADER + "\n"]
+    for obs in observations:
+        chunks.append(spes_to_csv(obs.key, obs.spes))
+    return "".join(chunks)
+
+
+def build_cluster_file(observations: Iterable["Observation"]) -> str:
+    """One row per cluster, with benchmark ground truth attached."""
+    lines = [CLUSTER_FILE_HEADER]
+    for obs in observations:
+        key = obs.key.to_key()
+        for cluster in obs.clusters:
+            source, is_rrat = obs.cluster_truth.get(cluster.cluster_id, (None, False))
+            lines.append(
+                ClusterRecord(
+                    key=key,
+                    cluster_id=cluster.cluster_id,
+                    rank=cluster.rank,
+                    n_spes=cluster.size,
+                    dm_lo=cluster.dm_lo,
+                    dm_hi=cluster.dm_hi,
+                    t_lo=cluster.t_lo,
+                    t_hi=cluster.t_hi,
+                    max_snr=cluster.max_snr,
+                    source=source,
+                    is_rrat=is_rrat,
+                ).to_line()
+            )
+    return "\n".join(lines) + "\n"
+
+
+def upload_observations(
+    dfs: "DFSClient",
+    observations: list["Observation"],
+    data_path: str = "/surveys/data.csv",
+    cluster_path: str = "/surveys/clusters.csv",
+) -> tuple[str, str]:
+    """Write both D-RAPID input files to the DFS; returns their paths."""
+    dfs.put_text(data_path, build_data_file(observations))
+    dfs.put_text(cluster_path, build_cluster_file(observations))
+    return data_path, cluster_path
+
+
+def read_ml_files(dfs: "DFSClient", prefix: str) -> list[SinglePulse]:
+    """Aggregate stage-3 ML output files into SinglePulse records (stage 4)."""
+    pulses: list[SinglePulse] = []
+    for path in dfs.ls(prefix):
+        for line in dfs.get_text(path).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            pulses.append(SinglePulse.from_ml_row(line))
+    return pulses

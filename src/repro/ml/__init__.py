@@ -1,0 +1,77 @@
+"""From-scratch machine learning library (the paper's Weka stand-in).
+
+Learners (Table 5):
+
+=============  =======================  ==============================
+Paper name     Type                     Implementation
+=============  =======================  ==============================
+MPN            artificial neural net    :class:`repro.ml.mlp.MLP`
+SMO            support vector machine   :class:`repro.ml.svm.SMO`
+JRip           rule learner             :class:`repro.ml.rules.JRip`
+J48            decision tree (C4.5)     :class:`repro.ml.tree.J48`
+PART           rule + tree              :class:`repro.ml.rules.PART`
+RandomForest   ensemble tree            :class:`repro.ml.forest.RandomForest`
+=============  =======================  ==============================
+
+Feature selection (Table 4): InfoGain, GainRatio, SymmetricalUncertainty,
+Correlation, OneR — :mod:`repro.ml.feature_selection`, on top of
+Fayyad–Irani MDL discretization (:mod:`repro.ml.discretize`).
+
+Support: stratified cross-validation and trial running
+(:mod:`repro.ml.validation`), SMOTE imbalance treatment
+(:mod:`repro.ml.smote`), confusion-matrix metrics (:mod:`repro.ml.metrics`).
+"""
+
+from repro.ml.dataset import Dataset
+from repro.ml.metrics import ClassificationReport, confusion_matrix, scores_from_confusion
+from repro.ml.validation import cross_validate, stratified_kfold
+from repro.ml.smote import smote, balance_with_smote
+from repro.ml.tree import J48
+from repro.ml.forest import RandomForest
+from repro.ml.rules import JRip, PART
+from repro.ml.svm import SMO
+from repro.ml.mlp import MLP
+from repro.ml.feature_selection import FS_METHODS, rank_features, select_top_k
+from repro.ml.curves import PrCurve, RocCurve, candidates_to_inspect, pr_curve, roc_curve
+from repro.ml.persistence import load_benchmark, load_model, save_benchmark, save_model
+from repro.ml.distributed import DistributedRandomForest
+
+LEARNERS = {
+    "MPN": MLP,
+    "SMO": SMO,
+    "JRip": JRip,
+    "J48": J48,
+    "PART": PART,
+    "RF": RandomForest,
+}
+
+__all__ = [
+    "ClassificationReport",
+    "DistributedRandomForest",
+    "PrCurve",
+    "RocCurve",
+    "candidates_to_inspect",
+    "load_benchmark",
+    "load_model",
+    "pr_curve",
+    "roc_curve",
+    "save_benchmark",
+    "save_model",
+    "Dataset",
+    "FS_METHODS",
+    "J48",
+    "JRip",
+    "LEARNERS",
+    "MLP",
+    "PART",
+    "RandomForest",
+    "SMO",
+    "balance_with_smote",
+    "confusion_matrix",
+    "cross_validate",
+    "rank_features",
+    "scores_from_confusion",
+    "select_top_k",
+    "smote",
+    "stratified_kfold",
+]

@@ -1,0 +1,109 @@
+"""Threshold curves: ROC and precision–recall for probabilistic classifiers.
+
+The paper reports fixed-threshold Recall/Precision/F, but a survey pipeline
+tunes its operating point — how many candidates humans can inspect — along
+these curves.  Works with any classifier exposing ``predict_proba``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """False-positive vs true-positive rates over score thresholds."""
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoidal)."""
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+
+@dataclass(frozen=True)
+class PrCurve:
+    """Precision vs recall over score thresholds."""
+
+    thresholds: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+
+    @property
+    def average_precision(self) -> float:
+        """Step-interpolated area under the PR curve."""
+        recall = np.concatenate([[0.0], self.recall])
+        precision = np.concatenate([[1.0], self.precision])
+        return float(np.sum((recall[1:] - recall[:-1]) * precision[1:]))
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute a curve from zero instances")
+    if not set(np.unique(y_true)) <= {0, 1}:
+        raise ValueError("y_true must be binary 0/1")
+    return y_true, scores
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """ROC curve of positive-class scores (higher score = more positive)."""
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    y_sorted = y_true[order]
+    s_sorted = scores[order]
+    # Cumulative TP/FP as the threshold drops past each distinct score.
+    tp = np.cumsum(y_sorted)
+    fp = np.cumsum(1 - y_sorted)
+    distinct = np.nonzero(np.diff(s_sorted, append=-np.inf))[0]
+    tp, fp = tp[distinct], fp[distinct]
+    n_pos = max(int(y_true.sum()), 1)
+    n_neg = max(int((1 - y_true).sum()), 1)
+    tpr = np.concatenate([[0.0], tp / n_pos])
+    fpr = np.concatenate([[0.0], fp / n_neg])
+    thresholds = np.concatenate([[np.inf], s_sorted[distinct]])
+    return RocCurve(thresholds=thresholds, fpr=fpr, tpr=tpr)
+
+
+def pr_curve(y_true: np.ndarray, scores: np.ndarray) -> PrCurve:
+    """Precision–recall curve of positive-class scores."""
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    y_sorted = y_true[order]
+    s_sorted = scores[order]
+    tp = np.cumsum(y_sorted)
+    fp = np.cumsum(1 - y_sorted)
+    distinct = np.nonzero(np.diff(s_sorted, append=-np.inf))[0]
+    tp, fp = tp[distinct], fp[distinct]
+    n_pos = max(int(y_true.sum()), 1)
+    precision = tp / np.maximum(tp + fp, 1)
+    recall = tp / n_pos
+    return PrCurve(thresholds=s_sorted[distinct], precision=precision, recall=recall)
+
+
+def candidates_to_inspect(y_true: np.ndarray, scores: np.ndarray,
+                          target_recall: float = 0.95) -> int:
+    """How many top-scored candidates must be inspected to reach a recall.
+
+    The operational quantity behind the paper's precision discussion: "a low
+    precision ... results in a large number of instances requiring manual
+    inspection".
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError(f"target_recall must be in (0, 1], got {target_recall}")
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    tp = np.cumsum(y_true[order])
+    needed = int(np.ceil(target_recall * max(int(y_true.sum()), 1)))
+    hits = np.nonzero(tp >= needed)[0]
+    if hits.size == 0:
+        return int(y_true.size)
+    return int(hits[0]) + 1

@@ -1,0 +1,160 @@
+"""Classification performance measures (Section 5.2.4).
+
+The paper scores every classifier — binary or multiclass — on its ability
+to separate pulsars from non-pulsars: a pulsar instance predicted as *any*
+pulsar subclass is a true positive.  ``scores_from_confusion`` therefore
+operates on the 2×2 pulsar/non-pulsar collapse; use
+:func:`repro.core.alm.binarize` to collapse multiclass labels first.
+
+    Recall    = TP / (TP + FN)                      (Eq. 2)
+    Precision = TP / (TP + FP)                      (Eq. 3)
+    F-Measure = 2 P R / (P + R)                     (Eq. 4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """(n_classes, n_classes) count matrix, rows = truth, cols = prediction."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if n_classes < 1:
+        raise ValueError("n_classes must be >= 1")
+    if y_true.size and (y_true.min() < 0 or y_true.max() >= n_classes):
+        raise ValueError("labels out of range")
+    if y_pred.size and (y_pred.min() < 0 or y_pred.max() >= n_classes):
+        raise ValueError("predictions out of range")
+    cm = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+@dataclass(frozen=True)
+class BinaryScores:
+    """Recall/Precision/F on the positive (pulsar) class."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def binary_scores(y_true_bin: np.ndarray, y_pred_bin: np.ndarray) -> BinaryScores:
+    """Scores from binarized (0/1) labels."""
+    y_true_bin = np.asarray(y_true_bin, dtype=int)
+    y_pred_bin = np.asarray(y_pred_bin, dtype=int)
+    tp = int(np.sum((y_true_bin == 1) & (y_pred_bin == 1)))
+    tn = int(np.sum((y_true_bin == 0) & (y_pred_bin == 0)))
+    fp = int(np.sum((y_true_bin == 0) & (y_pred_bin == 1)))
+    fn = int(np.sum((y_true_bin == 1) & (y_pred_bin == 0)))
+    return BinaryScores(tp=tp, tn=tn, fp=fp, fn=fn)
+
+
+def scores_from_confusion(cm: np.ndarray, positive_classes: list[int]) -> BinaryScores:
+    """Collapse a multiclass confusion matrix to pulsar/non-pulsar scores."""
+    cm = np.asarray(cm)
+    pos = np.zeros(cm.shape[0], dtype=bool)
+    pos[positive_classes] = True
+    tp = int(cm[np.ix_(pos, pos)].sum())
+    fn = int(cm[np.ix_(pos, ~pos)].sum())
+    fp = int(cm[np.ix_(~pos, pos)].sum())
+    tn = int(cm[np.ix_(~pos, ~pos)].sum())
+    return BinaryScores(tp=tp, tn=tn, fp=fp, fn=fn)
+
+
+def per_class_scores(cm: np.ndarray) -> list[dict[str, float]]:
+    """One-vs-rest recall/precision/F for each class (reporting aid)."""
+    cm = np.asarray(cm)
+    out = []
+    for c in range(cm.shape[0]):
+        tp = int(cm[c, c])
+        fn = int(cm[c].sum() - tp)
+        fp = int(cm[:, c].sum() - tp)
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        f = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        out.append({"recall": recall, "precision": precision, "f_measure": f})
+    return out
+
+
+@dataclass
+class ClassificationReport:
+    """Aggregated result of a set of classification trials (e.g. CV folds)."""
+
+    recalls: list[float] = field(default_factory=list)
+    precisions: list[float] = field(default_factory=list)
+    f_measures: list[float] = field(default_factory=list)
+    train_times_s: list[float] = field(default_factory=list)
+    test_times_s: list[float] = field(default_factory=list)
+    confusion: np.ndarray | None = None
+    #: Per-instance correctness over all folds: instance index -> bool.
+    instance_correct: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        return float(np.mean(self.recalls)) if self.recalls else 0.0
+
+    @property
+    def precision(self) -> float:
+        return float(np.mean(self.precisions)) if self.precisions else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        return float(np.mean(self.f_measures)) if self.f_measures else 0.0
+
+    @property
+    def train_time_s(self) -> float:
+        return float(np.sum(self.train_times_s))
+
+    @property
+    def median_train_time_s(self) -> float:
+        return float(np.median(self.train_times_s)) if self.train_times_s else 0.0
+
+    def add_fold(
+        self,
+        scores: BinaryScores,
+        train_time_s: float,
+        test_time_s: float = 0.0,
+        fold_confusion: np.ndarray | None = None,
+    ) -> None:
+        self.recalls.append(scores.recall)
+        self.precisions.append(scores.precision)
+        self.f_measures.append(scores.f_measure)
+        self.train_times_s.append(train_time_s)
+        self.test_times_s.append(test_time_s)
+        if fold_confusion is not None:
+            self.confusion = (
+                fold_confusion.copy() if self.confusion is None else self.confusion + fold_confusion
+            )
+
+    def summary(self) -> str:
+        return (
+            f"Recall={self.recall:.3f} Precision={self.precision:.3f} "
+            f"F-Measure={self.f_measure:.3f} train={self.train_time_s:.2f}s"
+        )

@@ -1,0 +1,116 @@
+"""MPN: a multilayer perceptron (Weka's MultilayerPerceptron analogue).
+
+One sigmoid hidden layer sized ``(n_features + n_classes) / 2`` (Weka's
+``-H a`` default), softmax output with cross-entropy loss, mini-batch
+gradient descent with momentum (Weka defaults: learning rate 0.3, momentum
+0.2).  Inputs are standardized internally.  Fully vectorized over the batch.
+
+MPN's training time is dominated by ``epochs × n × hidden`` multiply-adds
+and, unlike the tree learners, scales directly with the *input width* —
+which is why feature selection helps MPN the most (Fig. 6b: IG cuts binary
+MPN training ~64%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class MLP:
+    """Single-hidden-layer neural network classifier."""
+
+    hidden: int | None = None  # default: (d + k) // 2, Weka's "a"
+    learning_rate: float = 0.3
+    momentum: float = 0.2
+    epochs: int = 120
+    batch_size: int = 64
+    seed: int = 0
+    _params: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _mu: np.ndarray | None = None
+    _sigma: np.ndarray | None = None
+    n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLP":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with one label per row")
+        n, d = X.shape
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        self.n_classes_ = int(y.max()) + 1
+        k = self.n_classes_
+        h = self.hidden if self.hidden is not None else max(2, (d + k) // 2)
+
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma[sigma < 1e-12] = 1.0
+        self._sigma = sigma
+        Xs = (X - self._mu) / self._sigma
+        Y = np.zeros((n, k))
+        Y[np.arange(n), y] = 1.0
+
+        rng = np.random.default_rng(self.seed)
+        w1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h))
+        b1 = np.zeros(h)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(h), size=(h, k))
+        b2 = np.zeros(k)
+        v = {name: 0.0 for name in ("w1", "b1", "w2", "b2")}
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = Xs[idx], Y[idx]
+                m = len(idx)
+                # forward
+                a1 = _sigmoid(xb @ w1 + b1)
+                probs = _softmax(a1 @ w2 + b2)
+                # backward (cross-entropy + softmax)
+                dz2 = (probs - yb) / m
+                dw2 = a1.T @ dz2
+                db2 = dz2.sum(axis=0)
+                dz1 = (dz2 @ w2.T) * a1 * (1.0 - a1)
+                dw1 = xb.T @ dz1
+                db1 = dz1.sum(axis=0)
+                for name, grad in (("w1", dw1), ("b1", db1), ("w2", dw2), ("b2", db2)):
+                    v[name] = self.momentum * v[name] - self.learning_rate * grad
+                w1 += v["w1"]
+                b1 += v["b1"]
+                w2 += v["w2"]
+                b2 += v["b2"]
+        self._params = {"w1": w1, "b1": b1, "w2": w2, "b2": b2}
+        return self
+
+    def _forward(self, X: np.ndarray) -> np.ndarray:
+        if not self._params:
+            raise RuntimeError("fit() must be called before predict()")
+        Xs = (np.asarray(X, dtype=float) - self._mu) / self._sigma
+        a1 = _sigmoid(Xs @ self._params["w1"] + self._params["b1"])
+        return _softmax(a1 @ self._params["w2"] + self._params["b2"])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self._forward(X), axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._forward(X)

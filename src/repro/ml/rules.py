@@ -1,0 +1,293 @@
+"""Rule learners: JRip (RIPPER) and PART.
+
+**JRip** follows RIPPER (Cohen 1995) as Weka implements it, simplified to
+numeric attributes and without the global MDL-based optimization passes:
+classes are processed from rarest to most common; for each class, rules are
+grown condition-by-condition maximizing FOIL gain on a grow set, then
+pruned suffix-wise on a prune set maximizing (p - n) / (p + n); rule
+addition stops when a new rule's prune-set accuracy drops below 50%.
+
+**PART** (Frank & Witten 1998) builds a C4.5 tree on the still-uncovered
+instances, converts the leaf that covers the most of them into one rule,
+removes the covered instances, and repeats — rules from repeated partial
+trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.tree import J48
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One numeric test: feature <= threshold or feature > threshold."""
+
+    feature: int
+    threshold: float
+    is_leq: bool
+
+    def covers(self, X: np.ndarray) -> np.ndarray:
+        col = X[:, self.feature]
+        return col <= self.threshold if self.is_leq else col > self.threshold
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = "<=" if self.is_leq else ">"
+        return f"f{self.feature} {op} {self.threshold:.4g}"
+
+
+@dataclass
+class Rule:
+    """A conjunction of conditions predicting one class."""
+
+    conditions: list[Condition]
+    prediction: int
+
+    def covers(self, X: np.ndarray) -> np.ndarray:
+        mask = np.ones(X.shape[0], dtype=bool)
+        for cond in self.conditions:
+            mask &= cond.covers(X)
+        return mask
+
+    def __str__(self) -> str:  # pragma: no cover
+        body = " and ".join(str(c) for c in self.conditions) or "true"
+        return f"({body}) => class {self.prediction}"
+
+
+def _foil_gain(p0: float, n0: float, p1: float, n1: float) -> float:
+    """FOIL information gain of refining (p0, n0) coverage to (p1, n1)."""
+    if p1 <= 0:
+        return -math.inf
+    before = math.log2(p0 / (p0 + n0)) if p0 > 0 else -1e9
+    after = math.log2(p1 / (p1 + n1))
+    return p1 * (after - before)
+
+
+def _candidate_thresholds(col: np.ndarray, max_candidates: int = 32) -> np.ndarray:
+    """Midpoints between distinct sorted values, subsampled for speed."""
+    vals = np.unique(col)
+    if vals.size < 2:
+        return np.empty(0)
+    mids = (vals[:-1] + vals[1:]) / 2.0
+    if mids.size > max_candidates:
+        step = mids.size / max_candidates
+        mids = mids[(np.arange(max_candidates) * step).astype(int)]
+    return mids
+
+
+@dataclass
+class JRip:
+    """RIPPER rule learner (Weka's JRip, simplified; see module docstring)."""
+
+    grow_fraction: float = 2.0 / 3.0
+    max_conditions: int = 8
+    max_rules_per_class: int = 32
+    min_accuracy: float = 0.5
+    seed: int = 0
+    rules_: list[Rule] = field(default_factory=list, repr=False)
+    default_class_: int = 0
+    n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "JRip":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with one label per row")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes_ = int(y.max()) + 1
+        counts = np.bincount(y, minlength=self.n_classes_)
+        self.default_class_ = int(np.argmax(counts))
+        # Rarest classes first; the most common class becomes the default.
+        order = [c for c in np.argsort(counts, kind="stable") if counts[c] > 0]
+        order = [c for c in order if c != self.default_class_]
+
+        rng = np.random.default_rng(self.seed)
+        self.rules_ = []
+        remaining = np.ones(X.shape[0], dtype=bool)
+        for cls in order:
+            self.rules_.extend(self._learn_class(X, y, remaining, int(cls), rng))
+        return self
+
+    def _learn_class(
+        self, X: np.ndarray, y: np.ndarray, remaining: np.ndarray, cls: int,
+        rng: np.random.Generator,
+    ) -> list[Rule]:
+        rules: list[Rule] = []
+        for _ in range(self.max_rules_per_class):
+            idx = np.nonzero(remaining)[0]
+            if idx.size == 0 or not np.any(y[idx] == cls):
+                break
+            perm = rng.permutation(idx)
+            cut = max(1, int(len(perm) * self.grow_fraction))
+            grow, prune = perm[:cut], perm[cut:]
+            rule = self._grow_rule(X[grow], (y[grow] == cls), cls)
+            if rule is None:
+                break
+            if prune.size:
+                rule = self._prune_rule(rule, X[prune], (y[prune] == cls))
+            covered = rule.covers(X) & remaining
+            n_cov = int(covered.sum())
+            if n_cov == 0:
+                break
+            acc = float((y[covered] == cls).mean())
+            if acc < self.min_accuracy:
+                break
+            rules.append(rule)
+            remaining &= ~covered
+        return rules
+
+    def _grow_rule(self, X: np.ndarray, pos: np.ndarray, cls: int) -> Rule | None:
+        mask = np.ones(X.shape[0], dtype=bool)
+        conditions: list[Condition] = []
+        p = float(pos.sum())
+        n = float((~pos).sum())
+        if p == 0:
+            return None
+        while len(conditions) < self.max_conditions and n > 0:
+            best_gain = 0.0
+            best_cond: Condition | None = None
+            best_mask: np.ndarray | None = None
+            sub = np.nonzero(mask)[0]
+            for feat in range(X.shape[1]):
+                for thr in _candidate_thresholds(X[sub, feat]):
+                    for is_leq in (True, False):
+                        cond = Condition(feat, float(thr), is_leq)
+                        new_mask = mask & cond.covers(X)
+                        p1 = float((pos & new_mask).sum())
+                        n1 = float((~pos & new_mask).sum())
+                        gain = _foil_gain(p, n, p1, n1)
+                        if gain > best_gain:
+                            best_gain, best_cond, best_mask = gain, cond, new_mask
+            if best_cond is None:
+                break
+            conditions.append(best_cond)
+            mask = best_mask  # type: ignore[assignment]
+            p = float((pos & mask).sum())
+            n = float((~pos & mask).sum())
+        if not conditions:
+            return None
+        return Rule(conditions, cls)
+
+    def _prune_rule(self, rule: Rule, X: np.ndarray, pos: np.ndarray) -> Rule:
+        def value(conds: list[Condition]) -> float:
+            r = Rule(conds, rule.prediction)
+            m = r.covers(X)
+            p = float((pos & m).sum())
+            n = float((~pos & m).sum())
+            return (p - n) / (p + n) if (p + n) > 0 else -1.0
+
+        best = list(rule.conditions)
+        best_v = value(best)
+        # Drop suffixes (RIPPER prunes final conditions first).
+        for cut in range(len(rule.conditions) - 1, 0, -1):
+            cand = rule.conditions[:cut]
+            v = value(cand)
+            if v >= best_v:
+                best, best_v = cand, v
+        return Rule(best, rule.prediction)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.n_classes_ == 0:
+            raise RuntimeError("fit() must be called before predict()")
+        X = np.asarray(X, dtype=float)
+        out = np.full(X.shape[0], self.default_class_, dtype=int)
+        assigned = np.zeros(X.shape[0], dtype=bool)
+        for rule in self.rules_:  # first matching rule wins
+            hit = rule.covers(X) & ~assigned
+            out[hit] = rule.prediction
+            assigned |= hit
+        return out
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules_)
+
+
+@dataclass
+class PART:
+    """PART: rules extracted from repeated partial C4.5 trees."""
+
+    max_rules: int = 64
+    min_instances: int = 2
+    tree_depth: int | None = 6
+    rules_: list[Rule] = field(default_factory=list, repr=False)
+    default_class_: int = 0
+    n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PART":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with one label per row")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes_ = int(y.max()) + 1
+        self.default_class_ = int(np.argmax(np.bincount(y, minlength=self.n_classes_)))
+        self.rules_ = []
+        remaining = np.ones(X.shape[0], dtype=bool)
+        for _ in range(self.max_rules):
+            idx = np.nonzero(remaining)[0]
+            if idx.size < 2 * self.min_instances:
+                break
+            ys = y[idx]
+            if np.unique(ys).size == 1:
+                # Pure remainder: one final catch-all rule.
+                self.rules_.append(Rule([], int(ys[0])))
+                remaining[idx] = False
+                break
+            tree = J48(min_instances=self.min_instances, prune=True, max_depth=self.tree_depth)
+            tree.fit(X[idx], ys)
+            rule = self._best_leaf_rule(tree, X[idx], ys)
+            if rule is None:
+                break
+            covered = rule.covers(X) & remaining
+            if not covered.any():
+                break
+            self.rules_.append(rule)
+            remaining &= ~covered
+        if remaining.any():
+            leftover = y[remaining]
+            self.default_class_ = int(np.argmax(np.bincount(leftover, minlength=self.n_classes_)))
+        return self
+
+    def _best_leaf_rule(self, tree: J48, X: np.ndarray, y: np.ndarray) -> Rule | None:
+        """Turn the leaf covering the most instances into a rule."""
+        best_count = 0
+        best_rule: Rule | None = None
+        # Enumerate leaves by following each instance's decision path; count
+        # coverage per distinct path.
+        paths: dict[tuple, tuple[int, int]] = {}
+        for i in range(X.shape[0]):
+            path = tuple(tree.decision_path(X[i]))
+            count, _pred = paths.get(path, (0, 0))
+            paths[path] = (count + 1, i)
+        for path, (count, example_idx) in paths.items():
+            if count > best_count:
+                conditions = [
+                    Condition(feat, thr, is_leq) for feat, thr, is_leq in path
+                ]
+                pred = int(tree.predict(X[example_idx : example_idx + 1])[0])
+                best_rule = Rule(conditions, pred)
+                best_count = count
+        return best_rule
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.n_classes_ == 0:
+            raise RuntimeError("fit() must be called before predict()")
+        X = np.asarray(X, dtype=float)
+        out = np.full(X.shape[0], self.default_class_, dtype=int)
+        assigned = np.zeros(X.shape[0], dtype=bool)
+        for rule in self.rules_:
+            hit = rule.covers(X) & ~assigned
+            out[hit] = rule.prediction
+            assigned |= hit
+        return out
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules_)

@@ -1,0 +1,169 @@
+"""J48: a C4.5-style decision tree (gain-ratio splits, pessimistic pruning).
+
+Matches the behaviour of Weka's J48 on all-numeric data: binary threshold
+splits chosen by information gain ratio, minimum two instances per leaf,
+and post-pruning by subtree replacement using C4.5's pessimistic
+(Wilson upper-bound) error estimate with confidence factor 0.25.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml._split import best_split
+
+#: z-score of C4.5's default confidence factor CF = 0.25 (one-sided).
+_Z_CF25 = 0.6744897501960817
+
+
+@dataclass
+class _Node:
+    prediction: int
+    counts: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def n_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.n_leaves() + self.right.n_leaves()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def _pessimistic_errors(counts: np.ndarray, z: float = _Z_CF25) -> float:
+    """C4.5's upper-bound error count for a leaf with these class counts."""
+    n = float(counts.sum())
+    if n <= 0:
+        return 0.0
+    e = float(n - counts.max())
+    f = e / n
+    # Wilson score upper bound on the error rate.
+    z2 = z * z
+    ub = (f + z2 / (2 * n) + z * math.sqrt(f / n - f * f / n + z2 / (4 * n * n))) / (1 + z2 / n)
+    return ub * n
+
+
+@dataclass
+class J48:
+    """C4.5 decision tree classifier.
+
+    Parameters mirror Weka's defaults: ``min_instances=2`` (``-M 2``),
+    ``prune=True`` with confidence 0.25 (``-C 0.25``).
+    """
+
+    min_instances: int = 2
+    prune: bool = True
+    max_depth: int | None = None
+    _root: _Node | None = field(default=None, repr=False)
+    n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "J48":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with one label per row")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes_ = int(y.max()) + 1
+        all_features = np.arange(X.shape[1])
+        self._root = self._build(X, y, all_features, depth=0)
+        if self.prune:
+            self._prune_node(self._root)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, features: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes_)
+        node = _Node(prediction=int(np.argmax(counts)), counts=counts)
+        if (
+            counts.max() == y.size
+            or y.size < 2 * self.min_instances
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+        split = best_split(X, y, self.n_classes_, features, criterion="gain_ratio",
+                           min_leaf=self.min_instances)
+        if split is None:
+            return node
+        mask = X[:, split.feature] <= split.threshold
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.left = self._build(X[mask], y[mask], features, depth + 1)
+        node.right = self._build(X[~mask], y[~mask], features, depth + 1)
+        return node
+
+    def _prune_node(self, node: _Node) -> float:
+        """Bottom-up subtree replacement; returns the node's error estimate."""
+        if node.is_leaf:
+            return _pessimistic_errors(node.counts)
+        assert node.left is not None and node.right is not None
+        subtree_err = self._prune_node(node.left) + self._prune_node(node.right)
+        leaf_err = _pessimistic_errors(node.counts)
+        if leaf_err <= subtree_err + 0.1:  # C4.5's bias toward the simpler tree
+            node.left = node.right = None
+            node.feature = -1
+            return leaf_err
+        return subtree_err
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() must be called before predict()")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(X.shape[0], dtype=int)
+        for i in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() must be called before predict()")
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((X.shape[0], self.n_classes_), dtype=float)
+        for i in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            total = node.counts.sum()
+            out[i] = node.counts / total if total else 1.0 / self.n_classes_
+        return out
+
+    # -- introspection (used by PART and tests) -----------------------------
+    @property
+    def n_leaves(self) -> int:
+        return self._root.n_leaves() if self._root else 0
+
+    @property
+    def depth(self) -> int:
+        return self._root.depth() if self._root else 0
+
+    def decision_path(self, x: np.ndarray) -> list[tuple[int, float, bool]]:
+        """(feature, threshold, went_left) conditions from root to leaf."""
+        if self._root is None:
+            raise RuntimeError("fit() must be called before decision_path()")
+        node = self._root
+        path = []
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            left = bool(x[node.feature] <= node.threshold)
+            path.append((node.feature, node.threshold, left))
+            node = node.left if left else node.right
+        return path

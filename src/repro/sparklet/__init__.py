@@ -1,0 +1,46 @@
+"""Sparklet: a from-scratch Spark-like dataflow engine with a cluster simulator.
+
+The paper runs D-RAPID on Apache Spark over Hadoop YARN.  Sparklet reproduces
+the parts of that stack the paper's design depends on:
+
+- lazy :class:`~repro.sparklet.rdd.RDD` lineage with narrow and shuffle
+  dependencies, split into stages at shuffle boundaries;
+- key-value pair operations (``reduce_by_key``, ``aggregate_by_key``,
+  ``group_by_key``, ``join``, ``left_outer_join``, ``cogroup``) with map-side
+  combining and *partition-aware joins*: two RDDs sharing a partitioner join
+  without an extra shuffle — the optimization at the heart of D-RAPID's
+  Stage 3 (Fig. 3 of the paper);
+- a hash partitioner (:class:`~repro.sparklet.partitioner.HashPartitioner`)
+  with deterministic, process-stable hashing;
+- a task scheduler that *really executes* every task (serially, so results
+  are exact) while recording per-task cost metrics;
+- a discrete-event cluster simulator
+  (:mod:`repro.sparklet.simulation`) that replays those measured tasks on a
+  configurable YARN-style cluster (executors × cores × memory, network and
+  disk bandwidth, spill penalties) to obtain the elapsed time a real cluster
+  of that shape would exhibit.  This substitutes for the paper's 16-node
+  Beowulf cluster, which we do not have (see DESIGN.md).
+"""
+
+from repro.sparklet.context import SparkletContext
+from repro.sparklet.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.sparklet.rdd import RDD
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.sparklet.cluster import ClusterConfig, ExecutorSpec, ResourceManager
+from repro.sparklet.simulation import SimulatedRun, simulate_job
+
+__all__ = [
+    "ClusterConfig",
+    "ExecutorSpec",
+    "HashPartitioner",
+    "JobMetrics",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "ResourceManager",
+    "SimulatedRun",
+    "SparkletContext",
+    "StageMetrics",
+    "TaskMetrics",
+    "simulate_job",
+]

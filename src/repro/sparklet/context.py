@@ -1,0 +1,104 @@
+"""SparkletContext: the driver entry point."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from repro.sparklet.metrics import JobMetrics
+from repro.sparklet.rdd import ParallelCollectionRDD, RDD, TextFileRDD
+from repro.sparklet.scheduler import DAGScheduler, Runtime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfs import DFSClient
+
+
+class SparkletContext:
+    """Owns the runtime (shuffle storage, cache) and the DAG scheduler.
+
+    Mirrors ``SparkContext``: create RDDs with :meth:`parallelize` /
+    :meth:`text_file`, run actions on them.  Job metrics for every executed
+    action accumulate in :attr:`scheduler.job_history` and are what the
+    cluster simulator consumes.
+    """
+
+    def __init__(self, app_name: str = "sparklet", default_parallelism: int = 4,
+                 max_task_retries: int = 3) -> None:
+        if default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        self.app_name = app_name
+        self.default_parallelism = default_parallelism
+        self.runtime = Runtime()
+        self.scheduler = DAGScheduler(self.runtime, max_task_retries=max_task_retries)
+        self._rdd_counter = 0
+        self._shuffle_counter = 0
+
+    # -- id allocation (used by RDD/ShuffledRDD constructors) ---------------
+    def _next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    def _next_shuffle_id(self) -> int:
+        self._shuffle_counter += 1
+        return self._shuffle_counter
+
+    def _evict_cache(self, rdd_id: int) -> None:
+        for key in [k for k in self.runtime.cache if k[0] == rdd_id]:
+            del self.runtime.cache[key]
+
+    # -- shared variables ---------------------------------------------------
+    def broadcast(self, value):
+        """Ship a read-only value to every task (Spark ``sc.broadcast``)."""
+        from repro.sparklet.shared import Broadcast
+
+        self._broadcast_counter = getattr(self, "_broadcast_counter", 0) + 1
+        return Broadcast(self._broadcast_counter, value)
+
+    def accumulator(self, zero=0, op=None):
+        """Create a task-side counter with exactly-once retry semantics."""
+        import operator
+
+        from repro.sparklet.shared import Accumulator
+
+        self._accumulator_counter = getattr(self, "_accumulator_counter", 0) + 1
+        acc = Accumulator(self._accumulator_counter, zero, op or operator.add)
+        self.runtime.accumulators.append(acc)
+        return acc
+
+    # -- RDD creation ------------------------------------------------------
+    def parallelize(self, data: Sequence[Any], num_partitions: int | None = None) -> RDD:
+        if num_partitions is None:
+            num_partitions = self.default_parallelism
+        return ParallelCollectionRDD(self, data, num_partitions)
+
+    def text_file(self, dfs: "DFSClient", path: str) -> RDD:
+        return TextFileRDD(self, dfs, path)
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        from repro.sparklet.rdd import UnionRDD
+
+        return UnionRDD(self, rdds)
+
+    # -- job execution -----------------------------------------------------
+    def _run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: list[int] | None = None,
+    ) -> list[Any]:
+        results, _job = self.scheduler.run_job(rdd, func, partitions)
+        return results
+
+    def last_job_metrics(self) -> JobMetrics:
+        if not self.scheduler.job_history:
+            raise RuntimeError("no job has run yet")
+        return self.scheduler.job_history[-1]
+
+    def all_job_metrics(self) -> JobMetrics:
+        """All stages executed so far, merged into one JobMetrics."""
+        merged = JobMetrics(job_id=-1)
+        for job in self.scheduler.job_history:
+            merged.stages.extend(job.stages)
+        return merged
+
+    def reset_metrics(self) -> None:
+        self.scheduler.job_history.clear()

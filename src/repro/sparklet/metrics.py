@@ -1,0 +1,100 @@
+"""Task/stage/job metrics recorded during real execution.
+
+Every Sparklet task actually runs (serially) so its results are exact; the
+scheduler wraps each task with timing and size instrumentation.  These
+records are the *calibration input* for the discrete-event cluster simulator
+(:mod:`repro.sparklet.simulation`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+#: How many records to sample when estimating partition byte sizes.
+_SIZE_SAMPLE = 16
+
+
+def estimate_bytes(records: Sequence[Any]) -> int:
+    """Estimate the serialized size of a record sequence by sampling.
+
+    Pickling an entire large partition just to size it would dominate runtime
+    (the guides' first rule: measure, but keep instrumentation cheap), so we
+    pickle an evenly spaced sample and extrapolate.
+    """
+    n = len(records)
+    if n == 0:
+        return 0
+    if n <= _SIZE_SAMPLE:
+        return len(pickle.dumps(list(records), protocol=pickle.HIGHEST_PROTOCOL))
+    step = n // _SIZE_SAMPLE
+    sample = [records[i] for i in range(0, step * _SIZE_SAMPLE, step)]
+    sample_bytes = len(pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL))
+    return int(sample_bytes * (n / len(sample)))
+
+
+@dataclass
+class TaskMetrics:
+    """Cost record for one executed task (one partition of one stage)."""
+
+    stage_id: int
+    partition: int
+    duration_s: float
+    records_in: int = 0
+    records_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    shuffle_read_bytes: int = 0
+    shuffle_write_bytes: int = 0
+    #: Preferred executor/datanode ids (HDFS block locality), if any.
+    locality: tuple[str, ...] = ()
+    attempts: int = 1
+
+
+@dataclass
+class StageMetrics:
+    """All task records for one stage, plus whether it wrote shuffle output."""
+
+    stage_id: int
+    name: str
+    tasks: list[TaskMetrics] = field(default_factory=list)
+    is_shuffle_map: bool = False
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(t.duration_s for t in self.tasks)
+
+    @property
+    def max_task_seconds(self) -> float:
+        return max((t.duration_s for t in self.tasks), default=0.0)
+
+    @property
+    def total_bytes_in(self) -> int:
+        return sum(t.bytes_in for t in self.tasks)
+
+    @property
+    def total_shuffle_write(self) -> int:
+        return sum(t.shuffle_write_bytes for t in self.tasks)
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for one action: ordered stages as executed."""
+
+    job_id: int
+    stages: list[StageMetrics] = field(default_factory=list)
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(s.total_task_seconds for s in self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(len(s.tasks) for s in self.stages)
+
+    def merge(self, other: "JobMetrics") -> "JobMetrics":
+        """Concatenate stages of two jobs (e.g., a multi-action pipeline)."""
+        merged = JobMetrics(job_id=self.job_id)
+        merged.stages = list(self.stages) + list(other.stages)
+        return merged

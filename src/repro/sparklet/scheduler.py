@@ -1,0 +1,283 @@
+"""DAG scheduler: splits lineage into stages and executes tasks.
+
+Execution is serial and *real* — every task runs and produces exact results —
+but each task is metered (duration, record/byte counts, shuffle volumes,
+locality preferences).  The resulting :class:`~repro.sparklet.metrics
+.JobMetrics` calibrate the discrete-event cluster simulator.
+
+Fault tolerance follows Spark's lineage model: a failed task is simply
+re-run, because everything it needs (parent stage shuffle output or input
+splits) is still available.  A pluggable failure injector lets tests kill
+specific task attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics, estimate_bytes
+from repro.sparklet.rdd import (
+    Dependency,
+    NarrowDependency,
+    RDD,
+    ShuffleDependency,
+)
+from repro.sparklet.shuffle import ShuffleManager
+
+
+class TaskFailure(RuntimeError):
+    """Raised inside a task to simulate executor/task failure."""
+
+
+class Runtime:
+    """Per-context mutable execution state shared by tasks."""
+
+    def __init__(self) -> None:
+        self.shuffle = ShuffleManager()
+        self.cache: dict[tuple[int, int], list[Any]] = {}
+        #: Optional hook: f(stage_id, partition, attempt) may raise TaskFailure.
+        self.failure_injector: Callable[[int, int, int], None] | None = None
+        #: Accumulators registered via SparkletContext.accumulator(); the
+        #: scheduler commits their per-attempt buffers on task success only.
+        self.accumulators: list[Any] = []
+
+
+class Stage:
+    """A pipelined set of narrow transformations ending at a boundary."""
+
+    def __init__(self, stage_id: int, rdd: RDD, shuffle_dep: ShuffleDependency | None) -> None:
+        self.stage_id = stage_id
+        self.rdd = rdd
+        #: The shuffle this stage writes (None for the final result stage).
+        self.shuffle_dep = shuffle_dep
+        self.parents: list["Stage"] = []
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_dep is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "ShuffleMapStage" if self.is_shuffle_map else "ResultStage"
+        return f"<{kind} {self.stage_id} rdd={self.rdd.name!r}>"
+
+
+class DAGScheduler:
+    """Builds the stage graph for an action and executes it."""
+
+    def __init__(self, runtime: Runtime, max_task_retries: int = 3) -> None:
+        self.runtime = runtime
+        self.max_task_retries = max_task_retries
+        self._next_stage_id = 0
+        self._next_job_id = 0
+        #: shuffle_id -> Stage that produces it (reused across jobs, like
+        #: Spark's map output tracker keeping completed shuffle stages).
+        self._shuffle_stages: dict[int, Stage] = {}
+        self._completed_shuffles: set[int] = set()
+        self.job_history: list[JobMetrics] = []
+
+    # -- stage graph construction ----------------------------------------
+    def _new_stage(self, rdd: RDD, shuffle_dep: ShuffleDependency | None) -> Stage:
+        stage = Stage(self._next_stage_id, rdd, shuffle_dep)
+        self._next_stage_id += 1
+        stage.parents = self._parent_stages(rdd)
+        return stage
+
+    def _parent_stages(self, rdd: RDD) -> list["Stage"]:
+        """Find the shuffle-map stages this RDD's narrow chain depends on."""
+        parents: list[Stage] = []
+        seen: set[int] = set()
+        stack: list[RDD] = [rdd]
+        while stack:
+            node = stack.pop()
+            if node.rdd_id in seen:
+                continue
+            seen.add(node.rdd_id)
+            for dep in node.deps:
+                if isinstance(dep, ShuffleDependency):
+                    parents.append(self._shuffle_map_stage(dep))
+                else:
+                    stack.append(dep.rdd)
+        return parents
+
+    def _shuffle_map_stage(self, dep: ShuffleDependency) -> Stage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = self._new_stage(dep.rdd, dep)
+            self._shuffle_stages[dep.shuffle_id] = stage
+        return stage
+
+    # -- execution ---------------------------------------------------------
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: list[int] | None = None,
+    ) -> tuple[list[Any], JobMetrics]:
+        final_stage = self._new_stage(rdd, None)
+        job = JobMetrics(job_id=self._next_job_id)
+        self._next_job_id += 1
+
+        # Topological order over the stage DAG (parents before children).
+        order: list[Stage] = []
+        visited: set[int] = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.stage_id in visited:
+                return
+            visited.add(stage.stage_id)
+            for parent in stage.parents:
+                visit(parent)
+            order.append(stage)
+
+        visit(final_stage)
+
+        results: list[Any] = []
+        for stage in order:
+            if stage.is_shuffle_map:
+                assert stage.shuffle_dep is not None
+                if stage.shuffle_dep.shuffle_id in self._completed_shuffles:
+                    continue  # output still available from a previous job
+                metrics = self._run_shuffle_map_stage(stage)
+                self._completed_shuffles.add(stage.shuffle_dep.shuffle_id)
+            else:
+                metrics, results = self._run_result_stage(stage, func, partitions)
+            job.stages.append(metrics)
+        self.job_history.append(job)
+        return results, job
+
+    def _run_with_retries(self, stage: Stage, partition: int,
+                          body: Callable[[], TaskMetrics]) -> TaskMetrics:
+        attempt = 0
+        while True:
+            attempt += 1
+            for acc in self.runtime.accumulators:
+                acc._begin_attempt()
+            try:
+                if self.runtime.failure_injector is not None:
+                    self.runtime.failure_injector(stage.stage_id, partition, attempt)
+                task = body()
+                task.attempts = attempt
+                for acc in self.runtime.accumulators:
+                    acc._commit_attempt()
+                return task
+            except TaskFailure:
+                for acc in self.runtime.accumulators:
+                    acc._abort_attempt()
+                if attempt > self.max_task_retries:
+                    raise
+
+    def _run_shuffle_map_stage(self, stage: Stage) -> StageMetrics:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        sm = StageMetrics(stage.stage_id, f"shuffle-map({stage.rdd.name})", is_shuffle_map=True)
+        part = dep.partitioner
+
+        for split in range(stage.rdd.num_partitions):
+            def body(split: int = split) -> TaskMetrics:
+                t0 = time.perf_counter()
+                records = list(stage.rdd.iterator(split, self.runtime))
+                buckets: dict[int, list[Any]] = {}
+                bucket_weights: dict[int, int] = {}  # input records feeding each bucket
+                if dep.map_side_combine and dep.aggregator is not None:
+                    agg = dep.aggregator
+                    combined: dict[Any, Any] = {}
+                    key_counts: dict[Any, int] = {}
+                    for k, v in records:
+                        combined[k] = (
+                            agg.merge_value(combined[k], v) if k in combined else agg.create_combiner(v)
+                        )
+                        key_counts[k] = key_counts.get(k, 0) + 1
+                    for k, c in combined.items():
+                        idx = part.partition_for(k)
+                        buckets.setdefault(idx, []).append((k, c))
+                        bucket_weights[idx] = bucket_weights.get(idx, 0) + key_counts[k]
+                else:
+                    for rec in records:
+                        idx = part.partition_for(rec[0])
+                        buckets.setdefault(idx, []).append(rec)
+                        bucket_weights[idx] = bucket_weights.get(idx, 0) + 1
+                duration = time.perf_counter() - t0
+                # Size estimation happens outside the timed region (it is
+                # instrumentation, not work the real engine would do), and
+                # once per task: buckets are sized by the input bytes they
+                # carry (task-level average × contributing input records).
+                bytes_in = estimate_bytes(records)
+                n_out = sum(len(v) for v in buckets.values())
+                avg = bytes_in / len(records) if records else 0.0
+                written = 0
+                for reduce_idx, items in buckets.items():
+                    written += self.runtime.shuffle.write(
+                        dep.shuffle_id, reduce_idx, items,
+                        nbytes=max(1, int(avg * bucket_weights[reduce_idx])),
+                    )
+                return TaskMetrics(
+                    stage_id=stage.stage_id,
+                    partition=split,
+                    duration_s=duration,
+                    records_in=len(records),
+                    records_out=n_out,
+                    bytes_in=bytes_in,
+                    bytes_out=written,
+                    shuffle_write_bytes=written,
+                    locality=stage.rdd.preferred_locations(split),
+                )
+
+            sm.tasks.append(self._run_with_retries(stage, split, body))
+        return sm
+
+    def _run_result_stage(
+        self,
+        stage: Stage,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: list[int] | None,
+    ) -> tuple[StageMetrics, list[Any]]:
+        sm = StageMetrics(stage.stage_id, f"result({stage.rdd.name})")
+        results: list[Any] = []
+        todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
+        shuffle_reads = _shuffle_reads_of(stage.rdd)
+
+        for split in todo:
+            def body(split: int = split) -> TaskMetrics:
+                t0 = time.perf_counter()
+                records = list(stage.rdd.iterator(split, self.runtime))
+                out = func(iter(records))
+                duration = time.perf_counter() - t0
+                sread = sum(
+                    self.runtime.shuffle.fetch_bytes(sid, split) for sid in shuffle_reads
+                )
+                task = TaskMetrics(
+                    stage_id=stage.stage_id,
+                    partition=split,
+                    duration_s=duration,
+                    records_in=len(records),
+                    records_out=len(records),
+                    bytes_in=estimate_bytes(records),
+                    shuffle_read_bytes=sread,
+                    locality=stage.rdd.preferred_locations(split),
+                )
+                task._result = out  # type: ignore[attr-defined]
+                return task
+
+            task = self._run_with_retries(stage, split, body)
+            results.append(task._result)  # type: ignore[attr-defined]
+            sm.tasks.append(task)
+        return sm, results
+
+
+def _shuffle_reads_of(rdd: RDD) -> list[int]:
+    """Shuffle ids read directly by this stage's narrow chain."""
+    out: list[int] = []
+    seen: set[int] = set()
+    stack = [rdd]
+    while stack:
+        node = stack.pop()
+        if node.rdd_id in seen:
+            continue
+        seen.add(node.rdd_id)
+        for dep in node.deps:
+            if isinstance(dep, ShuffleDependency):
+                out.append(dep.shuffle_id)
+            elif isinstance(dep, (NarrowDependency, Dependency)):
+                stack.append(dep.rdd)
+    return out

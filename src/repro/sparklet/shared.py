@@ -1,0 +1,101 @@
+"""Shared variables: broadcasts and accumulators.
+
+Spark's two shared-variable kinds, both used by real D-RAPID-style drivers:
+a *broadcast* ships one read-only value (e.g. the trial-DM grid) to every
+task without re-serializing it per record, and an *accumulator* aggregates
+task-side counters (rows parsed, rows dropped) back to the driver.
+
+In Sparklet tasks run in-process, so a broadcast's win is semantic —
+explicit, immutable distribution — while accumulators carry real
+correctness rules mirrored from Spark: adds from *failed* task attempts
+must not double-count, so the scheduler buffers per-attempt contributions
+and commits them only when the attempt succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value shared across tasks."""
+
+    def __init__(self, broadcast_id: int, value: T) -> None:
+        self._id = broadcast_id
+        self._value = value
+        self._destroyed = False
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self._id} has been destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the value (Spark's ``destroy``); later reads fail."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Broadcast id={self._id} destroyed={self._destroyed}>"
+
+
+class Accumulator(Generic[T]):
+    """A task-side write-only, driver-side read-only aggregator.
+
+    ``add`` calls made inside a running task are buffered per attempt and
+    committed by the scheduler only if that attempt succeeds — retried
+    tasks therefore count exactly once, matching Spark's guarantee for
+    accumulators used inside actions.
+    """
+
+    def __init__(self, acc_id: int, zero: T, op: Callable[[T, T], T]) -> None:
+        self._id = acc_id
+        self._zero = zero
+        self._value = zero
+        self._op = op
+        #: Uncommitted adds of the attempt currently running (serial engine:
+        #: at most one attempt is in flight).
+        self._pending: list[T] = []
+        self._in_task = False
+
+    # -- task side ----------------------------------------------------------
+    def add(self, amount: T) -> None:
+        if self._in_task:
+            self._pending.append(amount)
+        else:
+            # Driver-side add commits immediately.
+            self._value = self._op(self._value, amount)
+
+    def __iadd__(self, amount: T) -> "Accumulator[T]":
+        self.add(amount)
+        return self
+
+    # -- scheduler hooks ------------------------------------------------------
+    def _begin_attempt(self) -> None:
+        self._pending.clear()
+        self._in_task = True
+
+    def _commit_attempt(self) -> None:
+        for amount in self._pending:
+            self._value = self._op(self._value, amount)
+        self._pending.clear()
+        self._in_task = False
+
+    def _abort_attempt(self) -> None:
+        self._pending.clear()
+        self._in_task = False
+
+    # -- driver side -----------------------------------------------------------
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = self._zero
+        self._pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Accumulator id={self._id} value={self._value!r}>"

@@ -1,0 +1,51 @@
+"""Shuffle manager: map-side bucket storage and reduce-side fetch."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.sparklet.metrics import estimate_bytes
+
+
+class ShuffleManager:
+    """Stores map-output buckets keyed by (shuffle id, reduce partition).
+
+    Real Spark writes buckets to local disk and serves them over the network;
+    here buckets live in driver memory, and the byte volumes recorded are fed
+    to the cluster simulator, which charges network/disk time for them.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[int, int], list[Any]] = defaultdict(list)
+        self._bytes: dict[tuple[int, int], int] = defaultdict(int)
+
+    def write(self, shuffle_id: int, reduce_partition: int, records: list[Any],
+              nbytes: int | None = None) -> int:
+        """Append map-output records for one reducer; returns bytes written.
+
+        ``nbytes`` lets the caller supply a size estimate (e.g. task-level
+        average × record count); estimating per bucket would pickle samples
+        once per (task, reducer) pair and dominate small-task runtimes.
+        """
+        if not records:
+            return 0
+        if nbytes is None:
+            nbytes = estimate_bytes(records)
+        key = (shuffle_id, reduce_partition)
+        self._buckets[key].extend(records)
+        self._bytes[key] += nbytes
+        return nbytes
+
+    def fetch(self, shuffle_id: int, reduce_partition: int) -> list[Any]:
+        return self._buckets.get((shuffle_id, reduce_partition), [])
+
+    def fetch_bytes(self, shuffle_id: int, reduce_partition: int) -> int:
+        return self._bytes.get((shuffle_id, reduce_partition), 0)
+
+    def has_shuffle(self, shuffle_id: int) -> bool:
+        return any(sid == shuffle_id for sid, _ in self._buckets)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._bytes.clear()

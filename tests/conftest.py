@@ -1,0 +1,77 @@
+"""Shared fixtures: small synthetic datasets, DFS/Sparklet instances.
+
+Everything here is deliberately tiny — substrate behaviour is what the unit
+tests probe; the scaled experiments live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.astro import GBT350DRIFT, generate_observation, synthesize_population
+from repro.astro.benchmark import Benchmark, build_benchmark
+from repro.astro.population import b1853_like
+from repro.dfs import DataNode, DFSClient
+from repro.sparklet import SparkletContext
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def dfs() -> DFSClient:
+    nodes = [DataNode(f"dn{i}", capacity=50_000_000) for i in range(4)]
+    return DFSClient(nodes, replication=2, block_size=4096, seed=0)
+
+
+@pytest.fixture
+def ctx() -> SparkletContext:
+    return SparkletContext(app_name="test", default_parallelism=4)
+
+
+@pytest.fixture(scope="session")
+def observation():
+    """One observation of a bright pulsar plus noise/RFI (session-cached)."""
+    return generate_observation(
+        GBT350DRIFT, [b1853_like()], seed=3, n_noise_clusters=40, n_rfi_bursts=2,
+        n_pulse_mimics=10, obs_length_s=60.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    return synthesize_population(8, rrat_fraction=0.25, max_dm=300.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark() -> Benchmark:
+    """A small but fully-featured labeled benchmark (session-cached)."""
+    return build_benchmark(
+        GBT350DRIFT,
+        n_pulsars=12,
+        target_positive=150,
+        target_negative=700,
+        rrat_fraction=0.25,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_classification():
+    """Separable 3-class blobs with noise dimensions: (X, y)."""
+    gen = np.random.default_rng(0)
+    per = 120
+    X = np.vstack(
+        [
+            gen.normal([0.0, 0.0], 1.0, (per, 2)),
+            gen.normal([5.0, 0.0], 1.0, (per, 2)),
+            gen.normal([2.5, 5.0], 1.0, (per, 2)),
+        ]
+    )
+    X = np.hstack([X, gen.normal(0.0, 1.0, (3 * per, 4))])
+    y = np.repeat([0, 1, 2], per)
+    shuffle = gen.permutation(3 * per)
+    return X[shuffle], y[shuffle]

@@ -1,0 +1,99 @@
+"""Unit tests for SPE records, observation keys and csv formats."""
+
+import numpy as np
+import pytest
+
+from repro.astro.spe import (
+    SPE,
+    ObservationKey,
+    SPEBlock,
+    parse_spe_line,
+    spes_to_csv,
+)
+
+
+@pytest.fixture
+def key():
+    return ObservationKey(dataset="PALFA", mjd=55123.25, sky_position="J1853+0101", beam=3)
+
+
+@pytest.fixture
+def spes():
+    return [
+        SPE(dm=96.7, snr=12.3, time_s=10.5, sample=164062, downfact=30),
+        SPE(dm=97.0, snr=9.1, time_s=10.500123, sample=164064, downfact=30),
+    ]
+
+
+class TestObservationKey:
+    def test_roundtrip(self, key):
+        assert ObservationKey.from_key(key.to_key()) == key
+
+    def test_key_fields_pipe_separated(self, key):
+        assert key.to_key() == "PALFA|55123.2500|J1853+0101|3"
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationKey.from_key("only|three|parts")
+
+
+class TestSPE:
+    def test_csv_roundtrip(self, spes):
+        for spe in spes:
+            assert SPE.from_csv_row(spe.to_csv_row()) == spe
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError):
+            SPE.from_csv_row("1.0,2.0,3.0")
+
+    def test_parse_spe_line(self, key, spes):
+        line = f"{key.to_key()},{spes[0].to_csv_row()}"
+        parsed_key, spe = parse_spe_line(line)
+        assert parsed_key == key.to_key()
+        assert spe == spes[0]
+
+    def test_parse_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spe_line("nocomma")
+
+
+class TestSPEBlock:
+    def test_column_views(self, key, spes):
+        block = SPEBlock(key, spes)
+        assert np.allclose(block.dms, [96.7, 97.0])
+        assert np.allclose(block.snrs, [12.3, 9.1])
+        assert len(block) == 2
+
+    def test_sorted_by_dm(self, key):
+        block = SPEBlock(key, [SPE(5.0, 1, 0, 0), SPE(2.0, 1, 0, 0), SPE(9.0, 1, 0, 0)])
+        assert list(block.sorted_by_dm().dms) == [2.0, 5.0, 9.0]
+
+    def test_sorted_by_time(self, key):
+        block = SPEBlock(key, [SPE(1, 1, 5.0, 0), SPE(1, 1, 1.0, 0)])
+        assert list(block.sorted_by_time().times) == [1.0, 5.0]
+
+    def test_subset(self, key, spes):
+        block = SPEBlock(key, spes)
+        sub = block.subset([1])
+        assert len(sub) == 1
+        assert sub.spes[0] == spes[1]
+
+
+class TestCsvRendering:
+    def test_spes_to_csv_prefixes_key(self, key, spes):
+        text = spes_to_csv(key, spes)
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        assert all(line.startswith(key.to_key() + ",") for line in lines)
+
+    def test_header_included_when_requested(self, key, spes):
+        text = spes_to_csv(key, spes, include_header=True)
+        assert text.startswith("#")
+
+    def test_empty_spes_empty_output(self, key):
+        assert spes_to_csv(key, []) == ""
+
+    def test_rows_parse_back(self, key, spes):
+        text = spes_to_csv(key, spes)
+        parsed = [parse_spe_line(line) for line in text.strip().split("\n")]
+        assert [spe for _k, spe in parsed] == spes

@@ -1,0 +1,106 @@
+"""Unit tests for survey configs, observation generation and benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.astro import GBT350DRIFT, PALFA, generate_observation
+from repro.astro.benchmark import build_benchmark, cached_benchmark
+from repro.astro.population import b1853_like, synthesize_population
+from repro.astro.survey import SurveyConfig
+
+
+class TestSurveyConfigs:
+    def test_gbt_parameters(self):
+        assert GBT350DRIFT.center_freq_mhz == 350.0
+        assert GBT350DRIFT.bandwidth_mhz == 100.0
+        assert GBT350DRIFT.n_beams == 1
+
+    def test_palfa_parameters(self):
+        assert PALFA.center_freq_mhz == 1400.0
+        assert PALFA.bandwidth_mhz == 300.0
+        assert PALFA.n_beams == 7
+
+    def test_dm_grid_uses_survey_max(self):
+        grid = PALFA.dm_grid(coarsen=10.0)
+        assert grid.trial_dms().max() < PALFA.max_dm
+
+
+class TestGenerateObservation:
+    def test_deterministic(self):
+        a = generate_observation(GBT350DRIFT, [b1853_like()], seed=5, obs_length_s=30.0)
+        b = generate_observation(GBT350DRIFT, [b1853_like()], seed=5, obs_length_s=30.0)
+        assert a.spes == b.spes
+        assert len(a.clusters) == len(b.clusters)
+
+    def test_key_carries_survey_name(self, observation):
+        assert observation.key.dataset == "GBT350Drift"
+
+    def test_truth_partitions_clusters(self, observation):
+        pos = observation.positives()
+        neg = observation.negatives()
+        assert len(pos) + len(neg) == len(observation.clusters)
+        assert pos  # a bright pulsar must produce positive clusters
+
+    def test_pulsar_free_observation_has_no_positives(self):
+        obs = generate_observation(GBT350DRIFT, [], seed=9, n_noise_clusters=30,
+                                   obs_length_s=30.0)
+        assert obs.positives() == []
+        assert len(obs.clusters) > 0
+
+    def test_labels_align_with_spes(self, observation):
+        assert observation.labels.shape[0] == len(observation.spes)
+
+    def test_cluster_truth_covers_all_clusters(self, observation):
+        for cluster in observation.clusters:
+            assert cluster.cluster_id in observation.cluster_truth
+
+    def test_empty_observation(self):
+        cfg = SurveyConfig("tiny", 350.0, 100.0, 1e-4, 1, 10.0, 100.0)
+        obs = generate_observation(cfg, [], seed=0, n_noise_clusters=0, n_rfi_bursts=0)
+        assert obs.spes == [] and obs.clusters == []
+
+
+class TestBenchmark:
+    def test_reaches_targets(self, small_benchmark):
+        assert small_benchmark.n_positive == 150
+        assert small_benchmark.n_negative == 700
+
+    def test_features_shape(self, small_benchmark):
+        assert small_benchmark.features.shape == (850, 22)
+        assert np.isfinite(small_benchmark.features).all()
+
+    def test_labels_match_scheme_sizes(self, small_benchmark):
+        for name, n in (("2", 2), ("4", 4), ("7", 7), ("8", 8), ("4*", 4)):
+            labels = small_benchmark.labels(name)
+            assert labels.max() < n
+
+    def test_binary_labels_match_truth(self, small_benchmark):
+        labels = small_benchmark.labels("2")
+        assert np.array_equal(labels == 1, small_benchmark.is_pulsar)
+
+    def test_dataset_view(self, small_benchmark):
+        ds = small_benchmark.dataset("7")
+        assert ds.n_classes == 7
+        assert ds.n_instances == small_benchmark.n_instances
+        assert ds.feature_names[0] == "NumSPEs"
+
+    def test_subsample(self, small_benchmark):
+        sub = small_benchmark.subsample(50, 100, seed=1)
+        assert sub.n_positive == 50 and sub.n_negative == 100
+
+    def test_subsample_rejects_oversized_request(self, small_benchmark):
+        with pytest.raises(ValueError):
+            small_benchmark.subsample(10_000, 10, seed=1)
+
+    def test_cached_benchmark_returns_same_object(self):
+        kwargs = dict(n_pulsars=4, target_positive=20, target_negative=80, seed=3)
+        a = cached_benchmark(GBT350DRIFT, **kwargs)
+        b = cached_benchmark(GBT350DRIFT, **kwargs)
+        assert a is b
+
+    def test_guard_against_unreachable_targets(self):
+        with pytest.raises(RuntimeError, match="exhausted"):
+            build_benchmark(
+                GBT350DRIFT, n_pulsars=2, target_positive=10_000,
+                target_negative=10, max_observations=2, seed=0,
+            )

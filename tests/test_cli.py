@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_generate(self, capsys):
+        assert main(["generate", "--pulsars", "3", "--observations", "1",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "single pulse events:" in out
+        assert "clusters:" in out
+
+    def test_identify(self, capsys):
+        assert main(["identify", "--pulsars", "3", "--observations", "1",
+                     "--scheme", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "single pulses identified:" in out
+        assert "Non-pulsar" in out
+
+    def test_classify(self, capsys):
+        assert main([
+            "classify", "--learner", "J48", "--scheme", "2",
+            "--positives", "40", "--negatives", "200", "--folds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Recall=" in out
+
+    def test_classify_with_feature_selection(self, capsys):
+        assert main([
+            "classify", "--learner", "J48", "--scheme", "4",
+            "--positives", "40", "--negatives", "200", "--folds", "2",
+            "--feature-selection", "IG", "--smote",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "feature selection (IG)" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--observations", "3",
+                     "--executors", "1", "4", "--data-gb", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "executors:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,125 @@
+"""Unit tests for ALM labeling (Tables 2–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alm import (
+    ALM_SCHEMES,
+    NON_PULSAR,
+    binarize,
+    brightness_bin,
+    distance_bin,
+    label_instances,
+)
+from repro.core.features import FEATURE_NAMES
+
+
+def feature_row(snr_peak_dm=50.0, avg_snr=10.0, max_snr=15.0):
+    row = np.zeros(len(FEATURE_NAMES))
+    row[FEATURE_NAMES.index("SNRPeakDM")] = snr_peak_dm
+    row[FEATURE_NAMES.index("AvgSNR")] = avg_snr
+    row[FEATURE_NAMES.index("MaxSNR")] = max_snr
+    return row
+
+
+class TestTable2Thresholds:
+    def test_distance_bins(self):
+        assert distance_bin(0.0) == "Near"
+        assert distance_bin(99.99) == "Near"
+        assert distance_bin(100.0) == "Mid"
+        assert distance_bin(174.99) == "Mid"
+        assert distance_bin(175.0) == "Far"
+        assert distance_bin(1000.0) == "Far"
+
+    def test_negative_dm_rejected(self):
+        with pytest.raises(ValueError):
+            distance_bin(-0.1)
+
+    def test_brightness_bins(self):
+        assert brightness_bin(0.1) == "Weak"
+        assert brightness_bin(8.0) == "Weak"  # (0, 8] is weak
+        assert brightness_bin(8.01) == "Strong"
+
+
+class TestTable3Schemes:
+    def test_all_five_schemes_present(self):
+        assert set(ALM_SCHEMES) == {"2", "4*", "4", "7", "8"}
+
+    def test_class_counts_match_names(self):
+        for name, scheme in ALM_SCHEMES.items():
+            expected = int(name.rstrip("*"))
+            assert scheme.n_classes == expected
+
+    def test_scheme7_class_list(self):
+        assert ALM_SCHEMES["7"].classes == (
+            NON_PULSAR, "Near-Weak", "Near-Strong", "Mid-Weak", "Mid-Strong",
+            "Far-Weak", "Far-Strong",
+        )
+
+    def test_scheme8_adds_rrat(self):
+        assert ALM_SCHEMES["8"].classes[-1] == "RRAT"
+
+
+class TestLabeling:
+    def test_non_pulsar_always_class_zero(self):
+        for scheme in ALM_SCHEMES.values():
+            labels = label_instances(scheme, feature_row()[None, :], [False], [False])
+            assert labels[0] == 0
+
+    def test_binary_pulsar(self):
+        labels = label_instances("2", feature_row()[None, :], [True], [False])
+        assert ALM_SCHEMES["2"].classes[labels[0]] == "Pulsar"
+
+    @pytest.mark.parametrize(
+        "dm,avg,expected",
+        [
+            (50.0, 5.0, "Near-Weak"),
+            (50.0, 12.0, "Near-Strong"),
+            (120.0, 5.0, "Mid-Weak"),
+            (120.0, 12.0, "Mid-Strong"),
+            (300.0, 5.0, "Far-Weak"),
+            (300.0, 12.0, "Far-Strong"),
+        ],
+    )
+    def test_scheme7_cells(self, dm, avg, expected):
+        labels = label_instances("7", feature_row(dm, avg)[None, :], [True], [False])
+        assert ALM_SCHEMES["7"].classes[labels[0]] == expected
+
+    def test_scheme4_ignores_brightness(self):
+        weak = label_instances("4", feature_row(120.0, 5.0)[None, :], [True], [False])
+        strong = label_instances("4", feature_row(120.0, 20.0)[None, :], [True], [False])
+        assert weak[0] == strong[0]
+        assert ALM_SCHEMES["4"].classes[weak[0]] == "Mid"
+
+    def test_scheme8_rrat_overrides_cells(self):
+        labels = label_instances("8", feature_row(120.0, 12.0)[None, :], [True], [True])
+        assert ALM_SCHEMES["8"].classes[labels[0]] == "RRAT"
+
+    def test_scheme7_has_no_rrat_class(self):
+        labels = label_instances("7", feature_row(120.0, 12.0)[None, :], [True], [True])
+        assert ALM_SCHEMES["7"].classes[labels[0]] == "Mid-Strong"
+
+    def test_scheme4star_uses_visual_brightness(self):
+        bright = label_instances("4*", feature_row(max_snr=30.0)[None, :], [True], [False])
+        dim = label_instances("4*", feature_row(max_snr=10.0)[None, :], [True], [False])
+        assert ALM_SCHEMES["4*"].classes[bright[0]] == "Very Bright Pulsar"
+        assert ALM_SCHEMES["4*"].classes[dim[0]] == "Pulsar"
+        rrat = label_instances("4*", feature_row()[None, :], [True], [True])
+        assert ALM_SCHEMES["4*"].classes[rrat[0]] == "RRAT"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            label_instances("2", np.zeros((2, 5)), [True, False], [False, False])
+        with pytest.raises(ValueError):
+            label_instances("2", feature_row()[None, :], [True, False], [False])
+
+
+class TestBinarize:
+    def test_collapse(self):
+        scheme = ALM_SCHEMES["7"]
+        labels = np.array([0, 1, 3, 6, 0])
+        assert list(binarize(scheme, labels)) == [0, 1, 1, 1, 0]
+
+    def test_binary_scheme_is_identity(self):
+        labels = np.array([0, 1, 1, 0])
+        assert list(binarize("2", labels)) == [0, 1, 1, 0]

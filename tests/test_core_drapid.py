@@ -1,0 +1,121 @@
+"""Unit tests for the D-RAPID driver, multithreaded baseline and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.astro import GBT350DRIFT
+from repro.core.drapid import DRapidDriver
+from repro.core.multithreaded import MultithreadedRapid, ThreadedBoxModel
+from repro.core.pipeline import SinglePulsePipeline
+from repro.core.rapid import run_rapid_observation
+from repro.io.spe_files import upload_observations
+from repro.sparklet.rdd import CoGroupedRDD, ShuffleDependency
+
+
+@pytest.fixture
+def uploaded(observation, dfs):
+    data_path, cluster_path = upload_observations(dfs, [observation])
+    return data_path, cluster_path
+
+
+class TestDRapidDriver:
+    def test_matches_serial_rapid(self, observation, dfs, ctx, uploaded):
+        data_path, cluster_path = uploaded
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=6)
+        result = driver.run(data_path, cluster_path)
+        serial = run_rapid_observation(observation)
+        assert result.n_pulses == serial.n_pulses
+        # Same peak DMs, independent of distribution order.
+        got = sorted(round(p.features.SNRPeakDM, 2) for p in result.pulses)
+        want = sorted(round(p.features.SNRPeakDM, 2) for p in serial.pulses)
+        assert got == want
+
+    def test_ml_files_written_to_dfs(self, observation, dfs, ctx, uploaded):
+        data_path, cluster_path = uploaded
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path, ml_output_path="/ml/run1")
+        parts = dfs.ls("/ml/run1/")
+        assert len(parts) == 4
+        rows = [l for p in parts for l in dfs.get_text(p).splitlines() if l]
+        assert len(rows) == result.n_pulses
+
+    def test_cluster_count_and_no_null_joins(self, observation, dfs, ctx, uploaded):
+        data_path, cluster_path = uploaded
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path)
+        assert result.n_clusters == len(observation.clusters)
+        assert result.n_null_joins == 0
+
+    def test_metrics_cover_load_and_search_stages(self, observation, dfs, ctx, uploaded):
+        data_path, cluster_path = uploaded
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path)
+        assert len(result.metrics.stages) >= 3  # two shuffle maps + result
+        assert result.metrics.total_task_seconds > 0
+
+    def test_paper_partitioning_constructor(self, dfs, ctx):
+        driver = DRapidDriver.with_paper_partitioning(ctx, dfs, {}, total_cores=28)
+        assert driver.num_partitions == 896
+
+    def test_labels_survive_distribution(self, observation, dfs, ctx, uploaded):
+        data_path, cluster_path = uploaded
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path)
+        serial = run_rapid_observation(observation)
+        assert sum(1 for p in result.pulses if p.source_name) == sum(
+            1 for p in serial.pulses if p.source_name
+        )
+
+
+class TestMultithreadedRapid:
+    def test_runs_tasks_and_returns_in_order(self):
+        runner = MultithreadedRapid(n_threads=3)
+        results = runner.run([lambda i=i: i * i for i in range(10)])
+        assert results == [i * i for i in range(10)]
+        assert len(runner.durations) == 10
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            MultithreadedRapid(n_threads=0).run([lambda: 1])
+
+
+class TestThreadedBoxModel:
+    def test_capacity_saturates_at_smt_limit(self):
+        model = ThreadedBoxModel(cores=6, smt_yield=0.25)
+        assert model.capacity(1) == 1
+        assert model.capacity(6) == 6
+        assert model.capacity(12) == pytest.approx(7.5)
+        assert model.capacity(20) == pytest.approx(7.5)  # beyond 2×cores: flat
+
+    def test_elapsed_decreases_then_flattens(self):
+        model = ThreadedBoxModel(cores=6)
+        durations = [0.01] * 200
+        sweep = model.sweep(durations, [1, 5, 10, 15, 20])
+        assert sweep[1] > sweep[5] > sweep[10]
+        assert sweep[15] == pytest.approx(sweep[20], rel=0.05)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadedBoxModel().capacity(0)
+
+
+class TestPipeline:
+    def test_end_to_end_without_classification(self, small_population):
+        pipe = SinglePulsePipeline(survey=GBT350DRIFT, scheme="4", seed=2)
+        result = pipe.run(small_population[:4], n_observations=2, classify=False)
+        assert result.drapid.n_pulses == len(result.pulses) > 0
+        assert result.features.shape[1] == 22
+        assert result.labels.max() < 4
+        assert result.report is None
+
+    def test_end_to_end_with_classification(self, small_population):
+        pipe = SinglePulsePipeline(survey=GBT350DRIFT, scheme="2", seed=3)
+        result = pipe.run(small_population[:4], n_observations=2, classify=True)
+        assert result.report is not None
+        assert 0.0 <= result.report.recall <= 1.0
+        assert result.report.train_time_s > 0

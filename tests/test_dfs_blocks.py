@@ -1,0 +1,61 @@
+"""Unit tests for DFS block primitives."""
+
+import pytest
+
+from repro.dfs.blocks import Block, BlockId, split_into_blocks
+
+
+class TestBlockId:
+    def test_ordering_by_path_then_index(self):
+        assert BlockId("/a", 0) < BlockId("/a", 1) < BlockId("/b", 0)
+
+    def test_equality_and_hash(self):
+        assert BlockId("/a", 3) == BlockId("/a", 3)
+        assert hash(BlockId("/a", 3)) == hash(BlockId("/a", 3))
+        assert BlockId("/a", 3) != BlockId("/a", 4)
+
+
+class TestBlock:
+    def test_size_defaults_to_payload_length(self):
+        block = Block(BlockId("/f", 0), b"hello")
+        assert block.size == 5
+
+    def test_explicit_size_preserved(self):
+        block = Block(BlockId("/f", 0), b"hello", size=100)
+        assert block.size == 100
+
+    def test_checksum_deterministic_and_content_sensitive(self):
+        a = Block(BlockId("/f", 0), b"abc")
+        b = Block(BlockId("/f", 0), b"abc")
+        c = Block(BlockId("/f", 0), b"abd")
+        assert a.checksum() == b.checksum()
+        assert a.checksum() != c.checksum()
+
+
+class TestSplitIntoBlocks:
+    def test_exact_multiple(self):
+        blocks = split_into_blocks("/f", b"x" * 100, block_size=25)
+        assert len(blocks) == 4
+        assert all(b.size == 25 for b in blocks)
+
+    def test_remainder_block(self):
+        blocks = split_into_blocks("/f", b"x" * 30, block_size=25)
+        assert [b.size for b in blocks] == [25, 5]
+
+    def test_indices_are_consecutive(self):
+        blocks = split_into_blocks("/f", b"x" * 100, block_size=10)
+        assert [b.block_id.index for b in blocks] == list(range(10))
+
+    def test_empty_payload_yields_one_empty_block(self):
+        blocks = split_into_blocks("/f", b"")
+        assert len(blocks) == 1
+        assert blocks[0].size == 0
+
+    def test_roundtrip_reassembly(self):
+        payload = bytes(range(256)) * 7
+        blocks = split_into_blocks("/f", payload, block_size=64)
+        assert b"".join(b.data for b in blocks) == payload
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError, match="block_size"):
+            split_into_blocks("/f", b"abc", block_size=0)

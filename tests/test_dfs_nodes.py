@@ -1,0 +1,139 @@
+"""Unit tests for DataNode and NameNode."""
+
+import pytest
+
+from repro.dfs.blocks import Block, BlockId
+from repro.dfs.datanode import DataNode, DataNodeFullError
+from repro.dfs.namenode import NameNode
+
+
+def _block(path: str = "/f", idx: int = 0, size: int = 10) -> Block:
+    return Block(BlockId(path, idx), b"z" * size)
+
+
+class TestDataNode:
+    def test_store_and_read(self):
+        node = DataNode("n0")
+        blk = _block()
+        node.store(blk)
+        assert node.read(blk.block_id).data == blk.data
+
+    def test_capacity_enforced(self):
+        node = DataNode("n0", capacity=15)
+        node.store(_block(idx=0, size=10))
+        with pytest.raises(DataNodeFullError):
+            node.store(_block(idx=1, size=10))
+
+    def test_store_is_idempotent(self):
+        node = DataNode("n0", capacity=10)
+        blk = _block(size=10)
+        node.store(blk)
+        node.store(blk)  # same replica again: no error, no double count
+        assert node.used_bytes == 10
+
+    def test_drop_frees_capacity(self):
+        node = DataNode("n0", capacity=10)
+        blk = _block(size=10)
+        node.store(blk)
+        node.drop(blk.block_id)
+        assert node.used_bytes == 0
+        node.store(_block(idx=1, size=10))
+
+    def test_dead_node_refuses_io(self):
+        node = DataNode("n0")
+        blk = _block()
+        node.store(blk)
+        node.kill()
+        assert not node.has(blk.block_id)
+        with pytest.raises(RuntimeError):
+            node.read(blk.block_id)
+        with pytest.raises(RuntimeError):
+            node.store(_block(idx=1))
+
+    def test_revive_reexposes_blocks(self):
+        node = DataNode("n0")
+        blk = _block()
+        node.store(blk)
+        node.kill()
+        node.revive()
+        assert node.has(blk.block_id)
+
+    def test_missing_block_raises_keyerror(self):
+        node = DataNode("n0")
+        with pytest.raises(KeyError):
+            node.read(BlockId("/nope", 0))
+
+
+class TestNameNode:
+    def test_create_and_get(self):
+        nn = NameNode()
+        bids = [BlockId("/f", i) for i in range(3)]
+        nn.create_file("/f", 300, bids)
+        entry = nn.get_file("/f")
+        assert entry.size == 300
+        assert entry.block_ids == bids
+
+    def test_duplicate_create_rejected(self):
+        nn = NameNode()
+        nn.create_file("/f", 1, [BlockId("/f", 0)])
+        with pytest.raises(FileExistsError):
+            nn.create_file("/f", 1, [BlockId("/f", 0)])
+
+    def test_delete_removes_locations(self):
+        nn = NameNode()
+        bid = BlockId("/f", 0)
+        nn.create_file("/f", 1, [bid])
+        nn.add_replica(bid, "n0")
+        nn.delete_file("/f")
+        assert not nn.exists("/f")
+        assert nn.replicas_of(bid) == set()
+
+    def test_missing_file_raises(self):
+        nn = NameNode()
+        with pytest.raises(FileNotFoundError):
+            nn.get_file("/missing")
+
+    def test_replica_tracking(self):
+        nn = NameNode()
+        bid = BlockId("/f", 0)
+        nn.create_file("/f", 1, [bid])
+        nn.add_replica(bid, "n0")
+        nn.add_replica(bid, "n1")
+        assert nn.replicas_of(bid) == {"n0", "n1"}
+        nn.remove_replica(bid, "n0")
+        assert nn.replicas_of(bid) == {"n1"}
+
+    def test_forget_node_reports_affected_blocks(self):
+        nn = NameNode()
+        bids = [BlockId("/f", i) for i in range(2)]
+        nn.create_file("/f", 2, bids)
+        for bid in bids:
+            nn.add_replica(bid, "n0")
+        affected = nn.forget_node("n0")
+        assert sorted(affected) == sorted(bids)
+        assert all(nn.replicas_of(b) == set() for b in bids)
+
+    def test_under_replicated(self):
+        nn = NameNode()
+        bid = BlockId("/f", 0)
+        nn.create_file("/f", 1, [bid])
+        nn.add_replica(bid, "n0")
+        assert nn.under_replicated(target=2) == [bid]
+        nn.add_replica(bid, "n1")
+        assert nn.under_replicated(target=2) == []
+
+    def test_list_files_prefix(self):
+        nn = NameNode()
+        for path in ("/a/x", "/a/y", "/b/z"):
+            nn.create_file(path, 0, [BlockId(path, 0)])
+        assert nn.list_files("/a/") == ["/a/x", "/a/y"]
+        assert nn.list_files() == ["/a/x", "/a/y", "/b/z"]
+
+    def test_blocks_on_node(self):
+        nn = NameNode()
+        b0, b1 = BlockId("/f", 0), BlockId("/g", 0)
+        nn.create_file("/f", 1, [b0])
+        nn.create_file("/g", 1, [b1])
+        nn.add_replica(b0, "n0")
+        nn.add_replica(b1, "n0")
+        assert sorted(nn.blocks_on("n0")) == sorted([b0, b1])

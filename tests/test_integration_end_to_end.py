@@ -1,0 +1,139 @@
+"""Integration tests: the full Fig. 2 workflow across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.astro import GBT350DRIFT, PALFA, synthesize_population
+from repro.core.alm import ALM_SCHEMES
+from repro.core.drapid import DRapidDriver
+from repro.core.multithreaded import ThreadedBoxModel
+from repro.core.pipeline import SinglePulsePipeline
+from repro.core.rapid import run_rapid_observation
+from repro.dfs import DataNode, DFSClient
+from repro.io.spe_files import read_ml_files, upload_observations
+from repro.ml import RandomForest, cross_validate, rank_features, select_top_k
+from repro.sparklet import ClusterConfig, SparkletContext, simulate_job
+from repro.sparklet.scheduler import TaskFailure
+
+
+@pytest.fixture(scope="module")
+def pipeline_run():
+    pipe = SinglePulsePipeline(survey=GBT350DRIFT, scheme="7", seed=11)
+    pop = synthesize_population(6, rrat_fraction=0.2, max_dm=300.0, seed=4)
+    return pipe, pipe.run(pop, n_observations=3, classify=True)
+
+
+class TestFullPipeline:
+    def test_all_stages_produce_artifacts(self, pipeline_run):
+        _pipe, result = pipeline_run
+        assert len(result.observations) == 3
+        assert result.drapid.n_pulses > 0
+        assert result.features.shape == (result.drapid.n_pulses, 22)
+        assert result.report is not None
+
+    def test_labels_consistent_with_truth(self, pipeline_run):
+        _pipe, result = pipeline_run
+        non_pulsar = result.labels == 0
+        assert np.array_equal(non_pulsar, ~result.is_pulsar)
+
+    def test_classification_beats_chance(self, pipeline_run):
+        _pipe, result = pipeline_run
+        assert result.report.recall > 0.5
+        assert result.report.f_measure > 0.5
+
+    def test_simulated_cluster_speedup_curve(self, pipeline_run):
+        """RQ1 shape on the pipeline's own metrics: more executors, faster;
+        knee behaviour beyond 5 executors."""
+        _pipe, result = pipeline_run
+        job = result.drapid.metrics
+        elapsed = {
+            n: simulate_job(job, ClusterConfig(num_executors=n)).elapsed_s
+            for n in (1, 5, 10, 20)
+        }
+        assert elapsed[1] > elapsed[5] > elapsed[20]
+        gain_1_5 = elapsed[1] / elapsed[5]
+        gain_5_20 = elapsed[5] / elapsed[20]
+        assert gain_1_5 > gain_5_20  # diminishing returns past the knee
+
+
+class TestDistributedEqualsSerialAcrossSurveys:
+    @pytest.mark.parametrize("survey", [GBT350DRIFT, PALFA], ids=lambda s: s.name)
+    def test_drapid_equals_serial(self, survey):
+        pop = synthesize_population(3, max_dm=min(300.0, survey.max_dm), seed=9)
+        from repro.astro import generate_observation
+
+        obs = generate_observation(survey, pop, seed=21, obs_length_s=40.0,
+                                   n_noise_clusters=25, n_rfi_bursts=1)
+        dfs = DFSClient([DataNode(f"d{i}") for i in range(3)], replication=2,
+                        block_size=8192)
+        ctx = SparkletContext(default_parallelism=3)
+        data_path, cluster_path = upload_observations(dfs, [obs])
+        driver = DRapidDriver(ctx=ctx, dfs=dfs, grids={survey.name: obs.grid},
+                              num_partitions=5)
+        result = driver.run(data_path, cluster_path)
+        serial = run_rapid_observation(obs)
+        assert result.n_pulses == serial.n_pulses
+        # ML files on the DFS aggregate back to the same pulses (stage 4 input).
+        assert len(read_ml_files(dfs, result.ml_output_path)) == serial.n_pulses
+
+
+class TestFaultToleranceEndToEnd:
+    def test_drapid_survives_task_failures(self, observation, dfs):
+        ctx = SparkletContext(default_parallelism=3)
+        fail_once: set = set()
+
+        def injector(stage_id, partition, attempt):
+            key = (stage_id, partition)
+            if key not in fail_once and partition % 3 == 0:
+                fail_once.add(key)
+                raise TaskFailure("chaos")
+
+        ctx.runtime.failure_injector = injector
+        data_path, cluster_path = upload_observations(dfs, [observation],
+                                                      data_path="/ft/data.csv",
+                                                      cluster_path="/ft/clusters.csv")
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path, ml_output_path="/ft/ml")
+        serial = run_rapid_observation(observation)
+        assert result.n_pulses == serial.n_pulses
+
+    def test_drapid_survives_datanode_loss_between_stages(self, observation):
+        dfs = DFSClient([DataNode(f"d{i}") for i in range(4)], replication=2,
+                        block_size=4096)
+        ctx = SparkletContext(default_parallelism=3)
+        data_path, cluster_path = upload_observations(dfs, [observation])
+        dfs.kill_datanode("d0")  # inputs must survive via replicas
+        driver = DRapidDriver(ctx=ctx, dfs=dfs,
+                              grids={"GBT350Drift": observation.grid}, num_partitions=4)
+        result = driver.run(data_path, cluster_path)
+        assert result.n_pulses == run_rapid_observation(observation).n_pulses
+
+
+class TestFeatureSelectionEndToEnd:
+    def test_paper_protocol_fs_then_cv(self, small_benchmark):
+        """Rank on the FS fold, train on the rest with the top-10 features."""
+        from repro.ml.validation import paper_protocol_split
+
+        scheme = ALM_SCHEMES["2"]
+        y = small_benchmark.labels(scheme)
+        fs_fold, rest = paper_protocol_split(y, seed=0)
+        merits = rank_features("IG", small_benchmark.features[fs_fold], y[fs_fold])
+        top10 = select_top_k(merits, 10)
+        assert len(top10) == 10
+        rep = cross_validate(
+            lambda: RandomForest(n_trees=10, seed=0),
+            small_benchmark.features[rest], y[rest],
+            n_folds=3, positive_collapse=scheme, feature_subset=top10,
+        )
+        assert rep.recall > 0.7
+
+
+class TestThreadedBaselineIntegration:
+    def test_model_applies_to_real_measured_tasks(self, pipeline_run):
+        _pipe, result = pipeline_run
+        search_stage = result.drapid.metrics.stages[-1]
+        durations = [t.duration_s for t in search_stage.tasks]
+        model = ThreadedBoxModel()
+        sweep = model.sweep(durations, [1, 5, 10, 20])
+        assert sweep[1] >= sweep[20]

@@ -1,0 +1,105 @@
+"""Unit tests for ROC / PR curves and the inspection-budget helper."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForest
+from repro.ml.curves import candidates_to_inspect, pr_curve, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_classifier_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_curve(y, scores).auc == pytest.approx(1.0)
+
+    def test_inverted_classifier_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_curve(y, scores).auc == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_curve(y, scores).auc == pytest.approx(0.5, abs=0.05)
+
+    def test_monotone_axes(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        curve = roc_curve(y, scores)
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == pytest.approx(1.0)
+        assert curve.tpr[-1] == pytest.approx(1.0)
+
+    def test_tied_scores_grouped(self):
+        y = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(y, scores)
+        # One distinct threshold → exactly the (0,0) and (1,1) points.
+        assert curve.fpr.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 2]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.1]))
+
+
+class TestPrCurve:
+    def test_perfect_classifier_ap_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert pr_curve(y, scores).average_precision == pytest.approx(1.0)
+
+    def test_recall_monotone(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 300)
+        scores = rng.random(300)
+        curve = pr_curve(y, scores)
+        assert np.all(np.diff(curve.recall) >= 0)
+        assert np.all((curve.precision >= 0) & (curve.precision <= 1))
+
+    def test_prevalence_baseline(self):
+        rng = np.random.default_rng(3)
+        y = (rng.random(4000) < 0.1).astype(int)
+        scores = rng.random(4000)
+        ap = pr_curve(y, scores).average_precision
+        assert ap == pytest.approx(0.1, abs=0.05)
+
+
+class TestCandidatesToInspect:
+    def test_perfect_ranking_needs_only_positives(self):
+        y = np.array([1, 1, 0, 0, 0, 0])
+        scores = np.array([0.9, 0.8, 0.4, 0.3, 0.2, 0.1])
+        assert candidates_to_inspect(y, scores, target_recall=1.0) == 2
+
+    def test_worst_ranking_needs_everything(self):
+        y = np.array([0, 0, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        assert candidates_to_inspect(y, scores, target_recall=1.0) == 4
+
+    def test_partial_recall(self):
+        y = np.array([1, 1, 1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1, 0.6, 0.5])
+        # 75% recall = 3 positives; top 3 scores cover them.
+        assert candidates_to_inspect(y, scores, target_recall=0.75) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidates_to_inspect(np.array([1]), np.array([0.5]), target_recall=0.0)
+
+
+class TestWithRealClassifier:
+    def test_rf_proba_gives_strong_auc(self, small_benchmark):
+        y = small_benchmark.labels("2")
+        rf = RandomForest(n_trees=15, seed=0).fit(small_benchmark.features, y)
+        scores = rf.predict_proba(small_benchmark.features)[:, 1]
+        assert roc_curve(y, scores).auc > 0.95
+        budget = candidates_to_inspect(y, scores, target_recall=0.9)
+        assert budget < small_benchmark.n_instances / 2

@@ -1,0 +1,214 @@
+"""Unit tests for SMOTE, MDL discretization and feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.discretize import discretize_column, mdl_cut_points, mdl_discretize
+from repro.ml.feature_selection import (
+    FS_METHODS,
+    rank_correlation,
+    rank_features,
+    rank_gain_ratio,
+    rank_info_gain,
+    rank_oner,
+    rank_symmetrical_uncertainty,
+    select_top_k,
+)
+from repro.ml.smote import balance_with_smote, smote
+
+
+@pytest.fixture
+def informative_data():
+    """Feature 0 determines the class; features 1-3 are noise."""
+    rng = np.random.default_rng(0)
+    n = 400
+    x0 = np.concatenate([rng.uniform(0, 1, n // 2), rng.uniform(2, 3, n // 2)])
+    X = np.column_stack([x0, rng.normal(0, 1, n), rng.normal(0, 1, n), rng.normal(0, 1, n)])
+    y = np.repeat([0, 1], n // 2)
+    return X, y
+
+
+class TestSmote:
+    def test_generates_requested_count(self):
+        X = np.random.default_rng(0).normal(size=(20, 4))
+        synth = smote(X, 35, rng=np.random.default_rng(1))
+        assert synth.shape == (35, 4)
+
+    def test_zero_synthetic(self):
+        assert smote(np.zeros((5, 2)), 0).shape == (0, 2)
+
+    def test_synthetics_on_segments(self):
+        """Every synthetic point lies between two real minority points —
+        SMOTE's defining convexity property."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(15, 3))
+        synth = smote(X, 50, k=5, rng=np.random.default_rng(3))
+        for s in synth:
+            # s = a + g(b - a) for some pair (a, b) and g in [0,1]: check the
+            # best pair reconstructs it.
+            found = False
+            for i in range(15):
+                for j in range(15):
+                    if i == j:
+                        continue
+                    d = X[j] - X[i]
+                    denom = float(d @ d)
+                    if denom == 0:
+                        continue
+                    g = float((s - X[i]) @ d) / denom
+                    if -1e-9 <= g <= 1 + 1e-9 and np.allclose(X[i] + g * d, s, atol=1e-8):
+                        found = True
+                        break
+                if found:
+                    break
+            assert found
+
+    def test_single_seed_jitters(self):
+        X = np.array([[1.0, 2.0]])
+        synth = smote(X, 5, rng=np.random.default_rng(4))
+        assert synth.shape == (5, 2)
+        assert np.allclose(synth, X[0], atol=1e-4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            smote(np.zeros((3, 2)), -1)
+
+
+class TestBalanceWithSmote:
+    def test_binary_balances_to_majority(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(110, 3))
+        y = np.array([0] * 100 + [1] * 10)
+        Xb, yb = balance_with_smote(X, y)
+        counts = np.bincount(yb)
+        assert counts[0] == counts[1] == 100
+
+    def test_multiclass_equalizes_positive_subclasses(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(160, 3))
+        y = np.array([0] * 100 + [1] * 40 + [2] * 15 + [3] * 5)
+        Xb, yb = balance_with_smote(X, y, non_pulsar_class=0)
+        counts = np.bincount(yb)
+        assert counts[0] == 100  # the majority is untouched
+        assert counts[1] == counts[2] == counts[3] == 40
+
+    def test_multiclass_inflation_much_smaller_than_binary(self):
+        """The RQ5 mechanism: balanced binary sets are far larger."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(1050, 3))
+        y_bin = np.array([0] * 1000 + [1] * 50)
+        y_multi = np.array([0] * 1000 + [1] * 20 + [2] * 20 + [3] * 10)
+        Xb, _ = balance_with_smote(X, y_bin)
+        Xm, _ = balance_with_smote(X, y_multi, non_pulsar_class=0)
+        assert Xb.shape[0] == 2000
+        assert Xm.shape[0] < 1200
+
+    def test_target_ratio(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(110, 2))
+        y = np.array([0] * 100 + [1] * 10)
+        _Xb, yb = balance_with_smote(X, y, target_ratio=0.5)
+        assert np.bincount(yb)[1] == 50
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            balance_with_smote(np.zeros((2, 1)), np.array([0, 1]), target_ratio=0.0)
+
+    def test_originals_preserved(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(30, 2))
+        y = np.array([0] * 25 + [1] * 5)
+        Xb, yb = balance_with_smote(X, y)
+        np.testing.assert_array_equal(Xb[:30], X)
+        np.testing.assert_array_equal(yb[:30], y)
+
+
+class TestMdlDiscretize:
+    def test_finds_clean_boundary(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.uniform(0, 1, 200), rng.uniform(2, 3, 200)])
+        y = np.repeat([0, 1], 200)
+        cuts = mdl_cut_points(x, y, 2)
+        assert len(cuts) >= 1
+        assert any(1.0 <= c <= 2.0 for c in cuts)
+
+    def test_no_cuts_for_uninformative_feature(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 300)
+        y = rng.integers(0, 2, 300)
+        assert mdl_cut_points(x, y, 2) == []
+
+    def test_cuts_sorted(self):
+        rng = np.random.default_rng(2)
+        x = np.concatenate([rng.uniform(i * 2, i * 2 + 1, 100) for i in range(3)])
+        y = np.repeat([0, 1, 2], 100)
+        cuts = mdl_cut_points(x, y, 3)
+        assert cuts == sorted(cuts)
+        assert len(cuts) >= 2
+
+    def test_discretize_column_bins(self):
+        x = np.array([0.5, 1.5, 2.5, 3.5])
+        assert list(discretize_column(x, [1.0, 3.0])) == [0, 1, 1, 2]
+
+    def test_discretize_column_no_cuts(self):
+        assert np.all(discretize_column(np.arange(5.0), []) == 0)
+
+    def test_mdl_discretize_matrix(self, informative_data):
+        X, y = informative_data
+        binned, cuts = mdl_discretize(X, y)
+        assert binned.shape == X.shape
+        assert len(cuts[0]) >= 1  # informative column gets cut
+        assert all(len(c) == 0 for c in cuts[1:])  # noise columns collapse
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mdl_cut_points(np.zeros(3), np.zeros(4, dtype=int), 1)
+
+
+class TestFeatureSelection:
+    @pytest.mark.parametrize("method", sorted(FS_METHODS))
+    def test_informative_feature_ranked_first(self, method, informative_data):
+        X, y = informative_data
+        merits = rank_features(method, X, y)
+        assert merits.shape == (4,)
+        assert int(np.argmax(merits)) == 0
+
+    def test_info_gain_nonnegative(self, informative_data):
+        X, y = informative_data
+        assert np.all(rank_info_gain(X, y) >= 0)
+
+    def test_su_bounded_unit_interval(self, informative_data):
+        X, y = informative_data
+        su = rank_symmetrical_uncertainty(X, y)
+        assert np.all((su >= 0) & (su <= 1 + 1e-9))
+
+    def test_gain_ratio_zero_for_unbinned(self, informative_data):
+        X, y = informative_data
+        gr = rank_gain_ratio(X, y)
+        assert gr[1] == 0.0  # noise columns have no cuts → zero merit
+
+    def test_correlation_bounded(self, informative_data):
+        X, y = informative_data
+        cor = rank_correlation(X, y)
+        assert np.all((cor >= 0) & (cor <= 1 + 1e-9))
+
+    def test_oner_at_least_majority_rate(self, informative_data):
+        X, y = informative_data
+        merits = rank_oner(X, y)
+        majority = max(np.bincount(y)) / y.size
+        assert np.all(merits >= majority - 1e-9)
+
+    def test_unknown_method_rejected(self, informative_data):
+        X, y = informative_data
+        with pytest.raises(ValueError, match="unknown"):
+            rank_features("PCA", X, y)
+
+    def test_select_top_k(self):
+        merits = np.array([0.1, 0.9, 0.5, 0.7])
+        assert select_top_k(merits, 2) == [1, 3]
+        assert select_top_k(merits, 10) == [1, 3, 2, 0]
+        with pytest.raises(ValueError):
+            select_top_k(merits, 0)
+
+    def test_table4_method_names(self):
+        assert set(FS_METHODS) == {"IG", "GR", "SU", "Cor", "1R"}

@@ -1,0 +1,74 @@
+"""Unit tests for the multiclass SMOTE policy modes (RQ4/RQ5 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.smote import balance_with_smote
+
+
+@pytest.fixture
+def multiclass_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1160, 4))
+    y = np.array([0] * 1000 + [1] * 100 + [2] * 40 + [3] * 20)
+    return X, y
+
+
+class TestSubclassMode:
+    def test_equalizes_to_largest_subclass(self, multiclass_data):
+        X, y = multiclass_data
+        _Xb, yb = balance_with_smote(X, y, non_pulsar_class=0, mode="subclass")
+        counts = np.bincount(yb)
+        assert counts[0] == 1000
+        assert counts[1] == counts[2] == counts[3] == 100
+
+    def test_much_smaller_than_binary_balance(self, multiclass_data):
+        X, y = multiclass_data
+        Xm, _ = balance_with_smote(X, y, non_pulsar_class=0, mode="subclass")
+        y_bin = (y > 0).astype(int)
+        Xb, _ = balance_with_smote(X, y_bin)
+        assert Xm.shape[0] < Xb.shape[0] * 0.75  # the RQ5 size asymmetry
+
+
+class TestEqualShareMode:
+    def test_positive_side_matches_majority(self, multiclass_data):
+        X, y = multiclass_data
+        _Xb, yb = balance_with_smote(X, y, non_pulsar_class=0, mode="equal_share")
+        counts = np.bincount(yb)
+        assert counts[0] == 1000
+        # Each subclass near 1000/3; totals match the majority.
+        assert abs(int(counts[1:].sum()) - 1000) <= 3
+        assert counts[1] == counts[2] == counts[3]
+
+    def test_same_total_size_as_binary(self, multiclass_data):
+        X, y = multiclass_data
+        Xm, _ = balance_with_smote(X, y, non_pulsar_class=0, mode="equal_share")
+        Xb, _ = balance_with_smote(X, (y > 0).astype(int))
+        assert abs(Xm.shape[0] - Xb.shape[0]) <= 3
+
+    def test_rare_subclass_boosted_most(self, multiclass_data):
+        X, y = multiclass_data
+        _Xb, yb = balance_with_smote(X, y, non_pulsar_class=0, mode="equal_share")
+        counts = np.bincount(yb)
+        boost = counts[1:] / np.bincount(y)[1:]
+        assert boost[2] > boost[0]  # rarest subclass gets the biggest factor
+
+    def test_never_removes_instances(self, multiclass_data):
+        X, y = multiclass_data
+        Xb, yb = balance_with_smote(X, y, non_pulsar_class=0, mode="equal_share")
+        np.testing.assert_array_equal(Xb[: len(y)], X)
+        np.testing.assert_array_equal(yb[: len(y)], y)
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self, multiclass_data):
+        X, y = multiclass_data
+        with pytest.raises(ValueError, match="mode"):
+            balance_with_smote(X, y, non_pulsar_class=0, mode="everything")
+
+    def test_binary_ignores_mode(self, multiclass_data):
+        X, y = multiclass_data
+        y_bin = (y > 0).astype(int)
+        a = balance_with_smote(X, y_bin, mode="subclass")
+        b = balance_with_smote(X, y_bin, mode="equal_share")
+        assert a[0].shape == b[0].shape

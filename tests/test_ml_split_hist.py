@@ -1,0 +1,142 @@
+"""Unit tests for exact and histogram split finding."""
+
+import numpy as np
+import pytest
+
+from repro.ml._hist import best_hist_split, bin_matrix
+from repro.ml._split import best_split, entropy_from_counts, gini_from_counts
+
+
+class TestImpurities:
+    def test_entropy_bounds(self):
+        assert entropy_from_counts(np.array([10, 0])) == 0.0
+        assert entropy_from_counts(np.array([5, 5])) == pytest.approx(1.0)
+        assert entropy_from_counts(np.array([1, 1, 1, 1])) == pytest.approx(2.0)
+
+    def test_gini_bounds(self):
+        assert gini_from_counts(np.array([10, 0])) == 0.0
+        assert gini_from_counts(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty_counts(self):
+        assert entropy_from_counts(np.array([0, 0])) == 0.0
+        assert gini_from_counts(np.array([])) == 0.0
+
+
+class TestBestSplit:
+    def test_finds_perfect_threshold(self):
+        X = np.array([[1.0], [2.0], [3.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        split = best_split(X, y, 2, np.array([0]), criterion="gini")
+        assert split is not None
+        assert 3.0 < split.threshold < 10.0
+        assert split.n_left == 3 and split.n_right == 3
+
+    def test_pure_node_returns_none(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.zeros(10, dtype=int)
+        assert best_split(X, y, 1, np.array([0, 1])) is None
+
+    def test_constant_feature_skipped(self):
+        X = np.column_stack([np.ones(6), np.array([1, 2, 3, 10, 11, 12.0])])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        split = best_split(X, y, 2, np.array([0, 1]))
+        assert split is not None and split.feature == 1
+
+    def test_min_leaf_respected(self):
+        X = np.array([[1.0], [2.0], [3.0], [4.0]])
+        y = np.array([0, 1, 1, 1])
+        split = best_split(X, y, 2, np.array([0]), min_leaf=2)
+        assert split is None or (split.n_left >= 2 and split.n_right >= 2)
+
+    def test_gain_ratio_mode(self):
+        X = np.array([[1.0], [2.0], [3.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        split = best_split(X, y, 2, np.array([0]), criterion="gain_ratio")
+        assert split is not None
+        assert split.score == pytest.approx(1.0)  # IG=1 bit, split info=1 bit
+
+    def test_picks_most_informative_feature(self):
+        rng = np.random.default_rng(1)
+        n = 200
+        informative = np.concatenate([rng.normal(0, 1, n // 2), rng.normal(6, 1, n // 2)])
+        noise = rng.normal(0, 1, n)
+        X = np.column_stack([noise, informative])
+        y = np.repeat([0, 1], n // 2)
+        split = best_split(X, y, 2, np.array([0, 1]))
+        assert split.feature == 1
+
+
+class TestBinMatrix:
+    def test_codes_respect_edges(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        bm = bin_matrix(X, 16)
+        for j in range(3):
+            edges = bm.edges[j]
+            for b in range(len(edges)):
+                left = X[bm.codes[:, j] <= b, j]
+                right = X[bm.codes[:, j] > b, j]
+                # Training-time routing must agree with x <= edges[b].
+                assert np.all(left <= edges[b])
+                assert np.all(right > edges[b])
+
+    def test_supervised_bins_include_class_boundary(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, 600)
+        y = (x > 4.2).astype(int)
+        X = x[:, None]
+        bm = bin_matrix(X, 8, y)
+        # Some edge must sit within the data gap around the true boundary.
+        assert np.any(np.abs(bm.edges[0] - 4.2) < 0.15)
+
+    def test_invalid_bin_count(self):
+        with pytest.raises(ValueError):
+            bin_matrix(np.zeros((3, 1)), 1)
+
+    def test_constant_column(self):
+        bm = bin_matrix(np.ones((10, 1)), 8)
+        assert bm.edges[0].size == 0
+        assert np.all(bm.codes == 0)
+
+
+class TestBestHistSplit:
+    def test_finds_separating_split(self):
+        X = np.concatenate([np.linspace(0, 1, 50), np.linspace(5, 6, 50)])[:, None]
+        y = np.repeat([0, 1], 50)
+        bm = bin_matrix(X, 16)
+        split = best_hist_split(bm, np.arange(100), y, 2, np.array([0]))
+        assert split is not None
+        assert 1.0 <= split.threshold <= 5.0
+        assert split.score == pytest.approx(0.5)  # full gini decrease
+
+    def test_subset_indices_only(self):
+        X = np.concatenate([np.linspace(0, 1, 50), np.linspace(5, 6, 50)])[:, None]
+        y = np.repeat([0, 1], 50)
+        bm = bin_matrix(X, 16)
+        idx = np.arange(0, 100, 2)
+        split = best_hist_split(bm, idx, y, 2, np.array([0]))
+        assert split is not None
+        assert split.n_left + split.n_right == idx.size
+
+    def test_pure_subset_returns_none(self):
+        X = np.linspace(0, 1, 20)[:, None]
+        y = np.zeros(20, dtype=int)
+        bm = bin_matrix(X, 8)
+        assert best_hist_split(bm, np.arange(20), y, 1, np.array([0])) is None
+
+    def test_min_leaf(self):
+        X = np.linspace(0, 1, 10)[:, None]
+        y = np.array([0] * 9 + [1])
+        bm = bin_matrix(X, 8)
+        split = best_hist_split(bm, np.arange(10), y, 2, np.array([0]), min_leaf=3)
+        assert split is None or (split.n_left >= 3 and split.n_right >= 3)
+
+    def test_agrees_with_exact_split_on_separable_data(self):
+        rng = np.random.default_rng(3)
+        X = np.concatenate([rng.normal(0, 1, 100), rng.normal(8, 1, 100)])[:, None]
+        y = np.repeat([0, 1], 100)
+        bm = bin_matrix(X, 64)
+        hist = best_hist_split(bm, np.arange(200), y, 2, np.array([0]))
+        exact = best_split(X, y, 2, np.array([0]))
+        # Same partition sizes: both find the clean boundary.
+        assert hist.n_left == exact.n_left

@@ -1,0 +1,91 @@
+"""Unit tests for the box model memory factor, hash memoization and
+small-node split path added during benchmark calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.multithreaded import ThreadedBoxModel
+from repro.ml._hist import best_hist_split, bin_matrix
+from repro.sparklet.partitioner import HashPartitioner, portable_hash
+
+
+class TestBoxMemoryModel:
+    def test_no_pressure_below_memory(self):
+        model = ThreadedBoxModel()
+        assert model.memory_pressure_factor(1024**3) == 1.0
+
+    def test_pressure_grows_with_working_set(self):
+        model = ThreadedBoxModel()
+        f1 = model.memory_pressure_factor(10 * 1024**3)
+        f2 = model.memory_pressure_factor(20 * 1024**3)
+        assert 1.0 < f1 < f2
+
+    def test_elapsed_includes_io_and_pressure(self):
+        model = ThreadedBoxModel()
+        base = model.elapsed([1.0] * 12, 6)
+        loaded = model.elapsed([1.0] * 12, 6, input_bytes=12 * 1024**3)
+        assert loaded > base
+
+    def test_io_time_matches_bandwidth(self):
+        model = ThreadedBoxModel(disk_bandwidth_mbps=800.0, object_overhead=0.0)
+        only_io = model.elapsed([], 1, input_bytes=100e6)
+        assert only_io == pytest.approx(100e6 / (800e6 / 8), rel=1e-6)
+
+
+class TestHashMemo:
+    def test_memo_consistent_with_portable_hash(self):
+        part = HashPartitioner(11)
+        for key in ["a", "b", "a", ("x", 1), 42, "a"]:
+            assert part.partition_for(key) == portable_hash(key) % 11
+
+    def test_memo_does_not_leak_between_sizes(self):
+        a = HashPartitioner(4)
+        b = HashPartitioner(8)
+        a.partition_for("k")
+        assert b.partition_for("k") == portable_hash("k") % 8
+
+    def test_equality_ignores_memo_contents(self):
+        a = HashPartitioner(4)
+        b = HashPartitioner(4)
+        a.partition_for("warm")
+        assert a == b
+
+
+class TestSmallNodeSplit:
+    def test_small_and_large_paths_agree_on_partition(self):
+        rng = np.random.default_rng(0)
+        X = np.concatenate([rng.normal(0, 1, 100), rng.normal(8, 1, 100)])[:, None]
+        y = np.repeat([0, 1], 100)
+        bm = bin_matrix(X, 32)
+        # Large-path split over everything:
+        big = best_hist_split(bm, np.arange(200), y, 2, np.array([0]))
+        # Small path over a 40-point subset spanning both blobs:
+        idx = np.concatenate([np.arange(20), np.arange(100, 120)])
+        small = best_hist_split(bm, idx, y, 2, np.array([0]))
+        assert big is not None and small is not None
+        assert small.n_left + small.n_right == idx.size
+        assert small.n_left == 20  # clean separation found
+
+    def test_small_node_threshold_routing_consistent(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 1))
+        y = (X[:, 0] > 0).astype(int)
+        bm = bin_matrix(X, 16)
+        split = best_hist_split(bm, np.arange(40), y, 2, np.array([0]))
+        assert split is not None
+        go_left_codes = bm.codes[np.arange(40), 0] <= split.bin_index
+        go_left_real = X[:, 0] <= split.threshold
+        np.testing.assert_array_equal(go_left_codes, go_left_real)
+
+    def test_small_node_min_leaf(self):
+        X = np.linspace(0, 1, 10)[:, None]
+        y = np.array([0] * 9 + [1])
+        bm = bin_matrix(X, 8)
+        split = best_hist_split(bm, np.arange(10), y, 2, np.array([0]), min_leaf=3)
+        assert split is None or min(split.n_left, split.n_right) >= 3
+
+    def test_small_pure_node_none(self):
+        X = np.linspace(0, 1, 10)[:, None]
+        y = np.zeros(10, dtype=int)
+        bm = bin_matrix(X, 8)
+        assert best_hist_split(bm, np.arange(10), y, 1, np.array([0])) is None

@@ -1,0 +1,125 @@
+"""Property-based tests, second batch: learners, ALM, curves, catalog."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.alm import ALM_SCHEMES, binarize, label_instances
+from repro.core.features import FEATURE_NAMES
+from repro.ml.curves import pr_curve, roc_curve
+from repro.ml.forest import RandomForest
+from repro.ml.rules import JRip
+from repro.ml.tree import J48
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def feature_matrix(rows: list[list[float]]) -> np.ndarray:
+    out = np.zeros((len(rows), len(FEATURE_NAMES)))
+    for i, (dm, avg, mx) in enumerate(rows):
+        out[i, FEATURE_NAMES.index("SNRPeakDM")] = dm
+        out[i, FEATURE_NAMES.index("AvgSNR")] = avg
+        out[i, FEATURE_NAMES.index("MaxSNR")] = mx
+    return out
+
+
+class TestAlmProperties:
+    @SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0.1, 100), st.floats(0.1, 200)),
+            min_size=1, max_size=30,
+        ),
+        flags=st.data(),
+    )
+    def test_labeling_total_and_consistent(self, rows, flags):
+        """Every instance gets a valid label in every scheme, and binarize
+        recovers the is_pulsar flag exactly."""
+        X = feature_matrix([list(r) for r in rows])
+        n = X.shape[0]
+        is_pulsar = flags.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        is_rrat = [p and flags.draw(st.booleans()) for p in is_pulsar]
+        for scheme in ALM_SCHEMES.values():
+            labels = label_instances(scheme, X, is_pulsar, is_rrat)
+            assert labels.min() >= 0 and labels.max() < scheme.n_classes
+            np.testing.assert_array_equal(
+                binarize(scheme, labels), np.array(is_pulsar, dtype=int)
+            )
+
+    @SETTINGS
+    @given(dm=st.floats(0, 1000), avg=st.floats(0.1, 100))
+    def test_scheme7_cell_consistency(self, dm, avg):
+        """Scheme 7 labels factor exactly into (distance bin, brightness bin)."""
+        X = feature_matrix([[dm, avg, 10.0]])
+        label = label_instances("7", X, [True], [False])[0]
+        name = ALM_SCHEMES["7"].classes[label]
+        dist, bright = name.split("-")
+        assert (dm < 100) == (dist == "Near")
+        assert (100 <= dm < 175) == (dist == "Mid")
+        assert (avg > 8) == (bright == "Strong")
+
+
+class TestLearnerProperties:
+    @SETTINGS
+    @given(seed=st.integers(0, 500))
+    def test_forest_predictions_are_valid_labels(self, seed):
+        rng = np.random.default_rng(seed)
+        n_classes = int(rng.integers(2, 5))
+        X = rng.normal(size=(60, 4))
+        y = rng.integers(0, n_classes, 60)
+        clf = RandomForest(n_trees=3, seed=seed).fit(X, y)
+        preds = clf.predict(rng.normal(size=(25, 4)))
+        assert set(preds) <= set(range(n_classes))
+
+    @SETTINGS
+    @given(seed=st.integers(0, 500))
+    def test_tree_train_accuracy_beats_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] + 0.3 * rng.normal(size=80) > 0).astype(int)
+        clf = J48(prune=False).fit(X, y)
+        acc = float((clf.predict(X) == y).mean())
+        majority = max(np.bincount(y)) / y.size
+        assert acc >= majority - 1e-9
+
+    @SETTINGS
+    @given(seed=st.integers(0, 200))
+    def test_jrip_first_match_determinism(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = (X[:, 1] > 0.2).astype(int)
+        clf = JRip(seed=0).fit(X, y)
+        a = clf.predict(X)
+        b = clf.predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCurveProperties:
+    @SETTINGS
+    @given(seed=st.integers(0, 1000), n=st.integers(5, 200))
+    def test_roc_auc_in_unit_interval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, n)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        scores = rng.random(n)
+        auc = roc_curve(y, scores).auc
+        assert -1e-9 <= auc <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(seed=st.integers(0, 1000))
+    def test_score_shift_invariance(self, seed):
+        """ROC/PR depend only on the ranking, not the score scale."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 100)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        scores = rng.random(100)
+        a = roc_curve(y, scores).auc
+        b = roc_curve(y, scores * 7.0 + 3.0).auc
+        assert a == b
+        pa = pr_curve(y, scores).average_precision
+        pb = pr_curve(y, scores * 7.0 + 3.0).average_precision
+        assert pa == pb

@@ -1,0 +1,101 @@
+"""Direct unit tests for metrics estimation and the shuffle manager."""
+
+import numpy as np
+import pytest
+
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics, estimate_bytes
+from repro.sparklet.shuffle import ShuffleManager
+
+
+class TestEstimateBytes:
+    def test_empty(self):
+        assert estimate_bytes([]) == 0
+
+    def test_small_list_exact_regime(self):
+        small = estimate_bytes([1, 2, 3])
+        assert small > 0
+
+    def test_scales_roughly_linearly(self):
+        base = [("key-%d" % i, float(i)) for i in range(100)]
+        one = estimate_bytes(base)
+        ten = estimate_bytes(base * 10)
+        assert 5 * one < ten < 20 * one
+
+    def test_larger_records_cost_more(self):
+        small = estimate_bytes(["x"] * 200)
+        big = estimate_bytes(["x" * 500] * 200)
+        assert big > 10 * small
+
+
+class TestShuffleManager:
+    def test_write_then_fetch(self):
+        sm = ShuffleManager()
+        written = sm.write(1, 0, [("a", 1), ("b", 2)])
+        assert written > 0
+        assert sm.fetch(1, 0) == [("a", 1), ("b", 2)]
+        assert sm.fetch_bytes(1, 0) == written
+
+    def test_appends_across_map_tasks(self):
+        sm = ShuffleManager()
+        sm.write(1, 0, [("a", 1)])
+        sm.write(1, 0, [("a", 2)])
+        assert sm.fetch(1, 0) == [("a", 1), ("a", 2)]
+
+    def test_buckets_isolated(self):
+        sm = ShuffleManager()
+        sm.write(1, 0, [("a", 1)])
+        sm.write(1, 1, [("b", 2)])
+        sm.write(2, 0, [("c", 3)])
+        assert sm.fetch(1, 1) == [("b", 2)]
+        assert sm.fetch(2, 0) == [("c", 3)]
+        assert sm.fetch(2, 1) == []
+
+    def test_empty_write_is_noop(self):
+        sm = ShuffleManager()
+        assert sm.write(1, 0, []) == 0
+        assert not sm.has_shuffle(1)
+
+    def test_explicit_nbytes_recorded(self):
+        sm = ShuffleManager()
+        sm.write(1, 0, [("a", 1)], nbytes=12345)
+        assert sm.fetch_bytes(1, 0) == 12345
+
+    def test_clear(self):
+        sm = ShuffleManager()
+        sm.write(1, 0, [("a", 1)])
+        sm.clear()
+        assert sm.fetch(1, 0) == []
+        assert not sm.has_shuffle(1)
+
+
+class TestMetricsAggregates:
+    def _stage(self, durations, stage_id=0, shuffle_write=0):
+        stage = StageMetrics(stage_id, "s")
+        for i, d in enumerate(durations):
+            stage.tasks.append(TaskMetrics(stage_id=stage_id, partition=i,
+                                           duration_s=d, bytes_in=100,
+                                           shuffle_write_bytes=shuffle_write))
+        return stage
+
+    def test_stage_totals(self):
+        stage = self._stage([1.0, 2.0, 3.0], shuffle_write=10)
+        assert stage.total_task_seconds == pytest.approx(6.0)
+        assert stage.max_task_seconds == pytest.approx(3.0)
+        assert stage.total_bytes_in == 300
+        assert stage.total_shuffle_write == 30
+
+    def test_empty_stage(self):
+        stage = StageMetrics(0, "empty")
+        assert stage.max_task_seconds == 0.0
+        assert stage.total_task_seconds == 0.0
+
+    def test_job_merge(self):
+        a = JobMetrics(0)
+        a.stages.append(self._stage([1.0], stage_id=0))
+        b = JobMetrics(1)
+        b.stages.append(self._stage([2.0, 2.0], stage_id=1))
+        merged = a.merge(b)
+        assert merged.num_tasks == 3
+        assert merged.total_task_seconds == pytest.approx(5.0)
+        # merge does not mutate the originals
+        assert a.num_tasks == 1 and b.num_tasks == 2

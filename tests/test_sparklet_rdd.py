@@ -1,0 +1,188 @@
+"""Unit tests for RDD transformations and actions (list-oracle style)."""
+
+import pytest
+
+from repro.sparklet import HashPartitioner
+
+
+class TestParallelize:
+    def test_collect_preserves_order(self, ctx):
+        data = list(range(37))
+        assert ctx.parallelize(data, 5).collect() == data
+
+    def test_partition_slicing_covers_all(self, ctx):
+        rdd = ctx.parallelize(list(range(10)), 4)
+        parts = rdd.glom().collect()
+        assert len(parts) == 4
+        assert [x for p in parts for x in p] == list(range(10))
+
+    def test_more_partitions_than_elements(self, ctx):
+        rdd = ctx.parallelize([1, 2], 8)
+        assert rdd.count() == 2
+        assert rdd.num_partitions == 8
+
+    def test_invalid_partition_count(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 0)
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).map(lambda x: x * 10).collect() == [10, 20, 30]
+
+    def test_filter(self, ctx):
+        got = ctx.parallelize(range(20), 3).filter(lambda x: x % 3 == 0).collect()
+        assert got == [0, 3, 6, 9, 12, 15, 18]
+
+    def test_flat_map(self, ctx):
+        got = ctx.parallelize(["a b", "c"], 2).flat_map(str.split).collect()
+        assert got == ["a", "b", "c"]
+
+    def test_map_partitions(self, ctx):
+        got = ctx.parallelize(range(10), 3).map_partitions(lambda it: [sum(it)]).collect()
+        assert sum(got) == sum(range(10))
+        assert len(got) == 3
+
+    def test_map_partitions_with_index(self, ctx):
+        got = ctx.parallelize(range(6), 3).map_partitions_with_index(
+            lambda i, it: [(i, list(it))]
+        ).collect()
+        assert [i for i, _ in got] == [0, 1, 2]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3, 4], 2)
+        assert sorted(a.union(b).collect()) == [1, 2, 3, 4]
+        assert a.union(b).num_partitions == 4
+
+    def test_distinct(self, ctx):
+        got = ctx.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()
+        assert sorted(got) == [1, 2, 3]
+
+    def test_key_by(self, ctx):
+        got = ctx.parallelize(["aa", "b"], 1).key_by(len).collect()
+        assert got == [(2, "aa"), (1, "b")]
+
+    def test_sample_fraction_bounds(self, ctx):
+        rdd = ctx.parallelize(range(1000), 4)
+        got = rdd.sample(0.1, seed=3).collect()
+        assert 50 <= len(got) <= 200
+        with pytest.raises(ValueError):
+            rdd.sample(1.5)
+
+    def test_chaining_is_lazy(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3], 1).map(probe)
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(101), 7).count() == 101
+
+    def test_take_smaller_than_data(self, ctx):
+        assert ctx.parallelize(range(100), 5).take(3) == [0, 1, 2]
+
+    def test_take_more_than_data(self, ctx):
+        assert ctx.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_take_nonpositive(self, ctx):
+        assert ctx.parallelize([1], 1).take(0) == []
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([9, 8], 2).first() == 9
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 1).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(10), 4).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_fold(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).fold(0, lambda a, b: a + b) == 6
+
+    def test_aggregate(self, ctx):
+        # (count, sum) via aggregate
+        got = ctx.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + 1, acc[1] + x),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert got == (10, 45)
+
+    def test_foreach_side_effects(self, ctx):
+        seen = []
+        ctx.parallelize([1, 2, 3], 2).foreach(seen.append)
+        assert sorted(seen) == [1, 2, 3]
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3], 1).map(probe).cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]  # computed once
+
+    def test_unpersist_recomputes(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1], 1).map(probe).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert calls == [1, 1]
+
+
+class TestTextFile:
+    def test_reads_all_lines(self, ctx, dfs):
+        lines = [f"row-{i}" for i in range(500)]
+        dfs.put_text("/t.csv", "\n".join(lines) + "\n")
+        rdd = ctx.text_file(dfs, "/t.csv")
+        assert rdd.collect() == lines
+
+    def test_block_boundary_lines_owned_once(self, ctx, dfs):
+        # Long lines guarantee block straddling with the 4 KiB test blocks.
+        lines = [("x" * 300) + f"-{i}" for i in range(100)]
+        dfs.put_text("/long.csv", "\n".join(lines) + "\n")
+        rdd = ctx.text_file(dfs, "/long.csv")
+        assert rdd.num_partitions > 1  # actually multi-block
+        assert rdd.collect() == lines
+
+    def test_no_trailing_newline(self, ctx, dfs):
+        dfs.put_text("/nt.csv", "a\nb\nc")
+        assert ctx.text_file(dfs, "/nt.csv").collect() == ["a", "b", "c"]
+
+    def test_preferred_locations_come_from_replicas(self, ctx, dfs):
+        dfs.put_text("/loc.csv", "hello\n")
+        rdd = ctx.text_file(dfs, "/loc.csv")
+        locs = rdd.preferred_locations(0)
+        assert locs  # at least one replica location
+        assert all(loc.startswith("dn") for loc in locs)
+
+    def test_save_as_text_file_roundtrip(self, ctx, dfs):
+        data = [f"line{i}" for i in range(50)]
+        ctx.parallelize(data, 3).save_as_text_file(dfs, "/out")
+        parts = dfs.ls("/out/")
+        assert len(parts) == 3
+        combined = "".join(dfs.get_text(p) for p in parts)
+        assert combined.splitlines() == data

@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event cluster simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.sparklet.cluster import ClusterConfig, ExecutorSpec
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.sparklet.simulation import greedy_makespan, simulate_executor_sweep, simulate_job
+
+
+def make_job(durations, bytes_in=1000, shuffle_read=0, stage_id=0) -> JobMetrics:
+    stage = StageMetrics(stage_id, "test")
+    for i, d in enumerate(durations):
+        stage.tasks.append(
+            TaskMetrics(stage_id=stage_id, partition=i, duration_s=d,
+                        bytes_in=bytes_in, shuffle_read_bytes=shuffle_read)
+        )
+    job = JobMetrics(job_id=0)
+    job.stages.append(stage)
+    return job
+
+
+class TestGreedyMakespan:
+    def test_single_worker_sums(self):
+        assert greedy_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_workers_is_max(self):
+        assert greedy_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_two_workers(self):
+        # FIFO: w1=[1,3], w2=[2,4] → makespan 6
+        assert greedy_makespan([1, 2, 3, 4], 2) == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert greedy_makespan([], 5) == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            greedy_makespan([1.0], 0)
+
+    def test_monotone_in_workers(self):
+        durations = [0.5] * 40 + [2.0] * 3
+        spans = [greedy_makespan(durations, w) for w in (1, 2, 4, 8, 16)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestSimulateJob:
+    def test_more_executors_faster(self):
+        job = make_job([0.1] * 64)
+        runs = simulate_executor_sweep(job, [1, 5, 10, 20])
+        elapsed = [runs[n].elapsed_s for n in (1, 5, 10, 20)]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_skew_limits_scaling(self):
+        # One giant task: beyond enough-executors, elapsed flattens at it.
+        job = make_job([5.0] + [0.01] * 50)
+        runs = simulate_executor_sweep(job, [5, 20])
+        assert runs[20].elapsed_s >= 5.0
+        assert runs[20].elapsed_s == pytest.approx(runs[5].elapsed_s, rel=0.2)
+
+    def test_memory_pressure_penalizes_few_executors(self):
+        # Data far exceeding one executor's memory: the 1-executor run must
+        # pay spill costs (the paper's RQ2 observation).
+        big_bytes = int(6 * 1024**3)  # 6 GB across the stage
+        job = make_job([0.05] * 32, bytes_in=big_bytes // 32)
+        one = simulate_job(job, ClusterConfig(num_executors=1))
+        five = simulate_job(job, ClusterConfig(num_executors=5))
+        assert one.total_spilled_bytes > 0
+        assert five.total_spilled_bytes == 0
+        # Spill-adjusted slowdown exceeds the pure 5× core ratio.
+        assert one.elapsed_s / five.elapsed_s > 5.0
+
+    def test_shuffle_read_charged_to_network(self):
+        job = make_job([0.01] * 8, shuffle_read=10**9)
+        fast_net = simulate_job(job, ClusterConfig(network_bandwidth_mbps=10000))
+        slow_net = simulate_job(job, ClusterConfig(network_bandwidth_mbps=100))
+        assert slow_net.elapsed_s > fast_net.elapsed_s
+
+    def test_data_scale_amplifies_bytes(self):
+        job = make_job([0.01] * 8, bytes_in=10**6)
+        base = simulate_job(job, ClusterConfig(num_executors=1))
+        scaled = simulate_job(job, ClusterConfig(num_executors=1, data_scale=10000.0))
+        assert scaled.total_spilled_bytes > base.total_spilled_bytes
+
+    def test_stages_execute_sequentially(self):
+        job = make_job([0.1] * 4)
+        job2 = make_job([0.1] * 4, stage_id=1)
+        job.stages.extend(job2.stages)
+        run = simulate_job(job, ClusterConfig(num_executors=2))
+        assert len(run.stages) == 2
+        assert run.elapsed_s == pytest.approx(sum(s.makespan_s for s in run.stages))
+
+    def test_task_overhead_floors_elapsed(self):
+        job = make_job([0.0] * 100)
+        cfg = ClusterConfig(num_executors=1, executor_spec=ExecutorSpec(vcores=1),
+                            task_overhead_s=0.01)
+        run = simulate_job(job, cfg)
+        assert run.elapsed_s >= 1.0  # 100 tasks × 10 ms on one core
+
+    def test_cpu_speed_factor(self):
+        job = make_job([1.0] * 4)
+        fast = simulate_job(job, dataclasses.replace(ClusterConfig(), cpu_speed_factor=0.5))
+        slow = simulate_job(job, dataclasses.replace(ClusterConfig(), cpu_speed_factor=2.0))
+        assert slow.elapsed_s > fast.elapsed_s
