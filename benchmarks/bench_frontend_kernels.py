@@ -1,0 +1,201 @@
+"""Front-end kernel benchmark: seed's naive loops vs the vectorized kernels.
+
+Times the three front-end stages the ISSUE targets, at several
+(n_channels, n_samples, n_dms) scales:
+
+- ``single_pulse_search`` — full pipeline (dedispersion + boxcar search):
+  naive per-DM ``np.convolve`` path (:func:`_reference_single_pulse_search`)
+  vs batch dedispersion + O(n) cumulative-sum boxcars;
+- dedispersion alone — per-channel Python shift loop vs
+  :func:`repro.astro.kernels.dedisperse_batch`, plus the two-stage subband
+  path on a fine DM ladder (where partial-sum reuse pays off);
+- DBSCAN — dict-of-cells neighbour probes vs the lexsorted cell index.
+
+Writes ``BENCH_frontend_kernels.json`` at the repo root (the perf
+trajectory baseline) and a table under ``benchmarks/results/``.
+
+Run:    PYTHONPATH=src python benchmarks/bench_frontend_kernels.py
+or:     PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_frontend_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+from repro.astro.clustering import SinglePulseDBSCAN
+from repro.astro.filterbank import (
+    InjectedPulse,
+    _reference_single_pulse_search,
+    dedisperse_all,
+    single_pulse_search,
+    synthesize_filterbank,
+)
+from repro.astro.kernels import _reference_dedisperse
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_frontend_kernels.json"
+
+#: (name, n_channels, duration_s, sample_time_s, n_dms).  "headline" is the
+#: ISSUE's acceptance scale: 64 channels × 60 s × 100 trial DMs.
+SEARCH_SCALES: tuple[tuple[str, int, float, float, int], ...] = (
+    ("small", 32, 8.0, 1e-3, 20),
+    ("medium", 64, 30.0, 1e-3, 50),
+    ("headline", 64, 60.0, 1e-3, 100),
+)
+
+
+def _timeit(fn, repeats: int = 2) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return float(best)
+
+
+def _make_filterbank(n_channels: int, duration_s: float, sample_time_s: float):
+    pulses = [
+        InjectedPulse(time_s=duration_s / 3, dm=80.0, width_ms=12.0, amplitude=0.4),
+        InjectedPulse(time_s=2 * duration_s / 3, dm=35.0, width_ms=6.0, amplitude=0.5),
+    ]
+    return synthesize_filterbank(
+        duration_s=duration_s,
+        n_channels=n_channels,
+        f_low_mhz=300.0,
+        f_high_mhz=400.0,
+        sample_time_s=sample_time_s,
+        pulses=pulses,
+        seed=3,
+    )
+
+
+def bench_single_pulse_search() -> list[dict]:
+    records = []
+    for name, n_channels, duration_s, sample_time_s, n_dms in SEARCH_SCALES:
+        fb = _make_filterbank(n_channels, duration_s, sample_time_s)
+        trials = np.linspace(2.0, 150.0, n_dms)
+        t_naive = _timeit(lambda: _reference_single_pulse_search(fb, trials), repeats=1)
+        t_vec = _timeit(lambda: single_pulse_search(fb, trials))
+        records.append(
+            {
+                "scale": name,
+                "n_channels": n_channels,
+                "duration_s": duration_s,
+                "n_samples": fb.n_samples,
+                "n_dms": n_dms,
+                "naive_s": round(t_naive, 4),
+                "vectorized_s": round(t_vec, 4),
+                "speedup": round(t_naive / t_vec, 2),
+            }
+        )
+    return records
+
+
+def bench_dedispersion() -> list[dict]:
+    records = []
+    fb = _make_filterbank(64, 60.0, 1e-3)
+
+    def naive_all(trials):
+        return [
+            _reference_dedisperse(
+                fb.data, fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s, dm
+            )
+            for dm in trials
+        ]
+
+    coarse = np.linspace(2.0, 150.0, 100)
+    t_naive = _timeit(lambda: naive_all(coarse), repeats=1)
+    t_batch = _timeit(lambda: dedisperse_all(fb, coarse, method="batch"))
+    records.append(
+        {
+            "ladder": "coarse (100 DMs, 2-150)",
+            "method": "batch",
+            "naive_s": round(t_naive, 4),
+            "vectorized_s": round(t_batch, 4),
+            "speedup": round(t_naive / t_batch, 2),
+        }
+    )
+    # Fine ladder: neighbouring trial DMs share channel shifts, so the
+    # two-stage subband path reuses partial sums across them.
+    fine = np.arange(50.0, 70.0, 0.05)
+    t_batch_fine = _timeit(lambda: dedisperse_all(fb, fine, method="batch"))
+    t_sub_fine = _timeit(lambda: dedisperse_all(fb, fine, method="subband"))
+    records.append(
+        {
+            "ladder": f"fine ({fine.size} DMs, 50-70 step 0.05)",
+            "method": "subband vs batch",
+            "naive_s": round(t_batch_fine, 4),
+            "vectorized_s": round(t_sub_fine, 4),
+            "speedup": round(t_batch_fine / t_sub_fine, 2),
+        }
+    )
+    return records
+
+
+def bench_dbscan() -> dict:
+    rng = np.random.default_rng(11)
+    n_blobs, n = 60, 20000
+    centers = rng.uniform(0, 400, size=(n_blobs, 2))
+    pts = centers[rng.integers(0, n_blobs, n)] + rng.normal(0, 1.2, size=(n, 2))
+    x, y = pts[:, 0], pts[:, 1]
+    db = SinglePulseDBSCAN()
+    t_ref = _timeit(lambda: db._reference_dbscan(x, y), repeats=1)
+    t_grid = _timeit(lambda: db._dbscan(x, y))
+    assert np.array_equal(db._dbscan(x, y), db._reference_dbscan(x, y))
+    return {
+        "n_points": n,
+        "naive_s": round(t_ref, 4),
+        "vectorized_s": round(t_grid, 4),
+        "speedup": round(t_ref / t_grid, 2),
+    }
+
+
+def run_all() -> dict:
+    search = bench_single_pulse_search()
+    dedisp = bench_dedispersion()
+    dbscan = bench_dbscan()
+    results = {
+        "benchmark": "frontend_kernels",
+        "generated_by": "benchmarks/bench_frontend_kernels.py",
+        "single_pulse_search": search,
+        "dedispersion": dedisp,
+        "dbscan": dbscan,
+    }
+    RESULT_JSON.write_text(json.dumps(results, indent=2) + "\n")
+
+    table = format_table(
+        ["stage", "scale", "naive s", "vectorized s", "speedup"],
+        [
+            ["search", r["scale"], r["naive_s"], r["vectorized_s"], f'{r["speedup"]}x']
+            for r in search
+        ]
+        + [
+            ["dedisp", r["ladder"], r["naive_s"], r["vectorized_s"], f'{r["speedup"]}x']
+            for r in dedisp
+        ]
+        + [
+            ["dbscan", f'{dbscan["n_points"]} pts', dbscan["naive_s"],
+             dbscan["vectorized_s"], f'{dbscan["speedup"]}x']
+        ],
+    )
+    emit("BENCH_frontend_kernels", table + f"\n\nwritten: {RESULT_JSON}")
+    return results
+
+
+def test_frontend_kernel_speedup():
+    """Acceptance: ≥5× at the headline scale (64 ch × 60 s × 100 DMs)."""
+    results = run_all()
+    headline = next(
+        r for r in results["single_pulse_search"] if r["scale"] == "headline"
+    )
+    assert headline["speedup"] >= 5.0, headline
+    assert RESULT_JSON.exists()
+
+
+if __name__ == "__main__":
+    run_all()

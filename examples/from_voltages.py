@@ -5,13 +5,17 @@ example starts one step earlier, at the telescope output (Section 3's
 phases 1–3), and runs everything:
 
 1. synthesize a filterbank (channels × samples) with dispersed pulses,
-2. incoherently dedisperse at a ladder of trial DMs,
-3. boxcar single pulse search (the PRESTO analogue) → SPE list,
-4. customized DBSCAN clustering,
+2. incoherently dedisperse the whole trial-DM ladder in one batch
+   (:func:`repro.astro.kernels.dedisperse_batch` via ``dedisperse_all``),
+3. O(n) cumulative-sum boxcar single pulse search (the PRESTO analogue)
+   → SPE list,
+4. customized DBSCAN clustering (grid-indexed neighbour search),
 5. Algorithm 1 peak search + 22-feature extraction.
 
 Run:  python examples/from_voltages.py
 """
+
+import time
 
 import numpy as np
 
@@ -35,10 +39,13 @@ def main() -> None:
     for p in truth:
         print(f"  injected pulse: t={p.time_s}s DM={p.dm} width={p.width_ms}ms")
 
-    print("\n=== phases 2-3: dedispersion + single pulse search ===")
+    print("\n=== phases 2-3: batch dedispersion + O(n) boxcar search ===")
     trials = np.arange(10.0, 130.0, 2.5)
+    t0 = time.perf_counter()
     spes = single_pulse_search(fb, trials, snr_threshold=5.5)
-    print(f"{len(spes)} single pulse events across {trials.size} trial DMs")
+    elapsed = time.perf_counter() - t0
+    print(f"{len(spes)} single pulse events across {trials.size} trial DMs "
+          f"in {elapsed * 1e3:.0f} ms (vectorized kernels)")
 
     print("\n=== stage 2: customized DBSCAN ===")
     times = np.array([s.time_s for s in spes])

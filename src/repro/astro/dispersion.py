@@ -55,6 +55,31 @@ def smearing_snr_factor(
     return (math.sqrt(math.pi) / 2.0) * math.erf(zeta) / zeta
 
 
+def smearing_snr_factors(
+    delta_dms: np.ndarray,
+    width_ms: float,
+    center_freq_mhz: float,
+    bandwidth_mhz: float,
+) -> np.ndarray:
+    """Vectorized :func:`smearing_snr_factor` over an array of DM offsets.
+
+    Uses :func:`scipy.special.erf`, which can differ from :func:`math.erf`
+    in the last ulp; callers rounding to a few decimals (SPE records) are
+    unaffected.
+    """
+    if width_ms <= 0:
+        raise ValueError(f"width_ms must be positive, got {width_ms}")
+    from scipy.special import erf
+
+    f_ghz = center_freq_mhz / 1000.0
+    zeta = 6.91e-3 * np.abs(np.asarray(delta_dms, dtype=float)) * bandwidth_mhz / (
+        width_ms * f_ghz**3
+    )
+    safe = np.where(zeta < 1e-9, 1.0, zeta)
+    out = (math.sqrt(math.pi) / 2.0) * erf(safe) / safe
+    return np.where(zeta < 1e-9, 1.0, out)
+
+
 #: Default trial-DM ladder bands: (dm_start, dm_stop, step).  Matches the
 #: paper's statement that DMSpacing runs from 0.01 at low DM to 2.00 at very
 #: high DM.  ``DMGrid`` can coarsen these uniformly for fast tests.
@@ -113,6 +138,19 @@ class DMGrid:
             if start <= dm < stop:
                 return step * self.coarsen
         return self.bands[-1][2] * self.coarsen
+
+    def spacing_of(self, dms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`spacing_at` for a whole SPE list at once.
+
+        One ``np.searchsorted`` over the band starts replaces the per-value
+        linear band scan; DMs at or beyond the last band stop get the last
+        band's step, matching the scalar fallback.
+        """
+        dms = np.asarray(dms, dtype=float)
+        starts = np.array([b[0] for b in self.bands])
+        steps = np.array([b[2] for b in self.bands]) * self.coarsen
+        idx = np.clip(np.searchsorted(starts, dms, side="right") - 1, 0, steps.size - 1)
+        return steps[idx]
 
     def nearest_trial(self, dm: float) -> float:
         grid = self.trial_dms()

@@ -9,9 +9,15 @@ whole chain — voltages to classified candidates — exists in the repository:
   with radiometer noise and dispersed pulses swept across the band;
 - :func:`dedisperse` — incoherent shift-and-sum dedispersion at one trial
   DM (the classic tree/brute-force step);
+- :func:`dedisperse_all` — the whole trial-DM grid at once, via the batch
+  (exact) or two-stage subband (partial-sum reuse) kernels;
 - :func:`single_pulse_search` — matched filtering of each dedispersed time
   series with boxcars of several widths and thresholding, emitting the SPE
   records the rest of the pipeline consumes.
+
+The heavy lifting lives in :mod:`repro.astro.kernels`; the seed's naive
+loops are retained there (and as :func:`_reference_single_pulse_search`
+here) for equivalence tests and the front-end kernel benchmark.
 
 The output of :func:`single_pulse_search` over a trial-DM grid is exactly
 the kind of SPE list :mod:`repro.astro.pulses` synthesizes directly; a test
@@ -25,6 +31,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.astro.dispersion import K_DM
+from repro.astro.kernels import (
+    _reference_dedisperse,
+    dedisperse_batch,
+    dedisperse_subband,
+    single_pulse_block_search,
+)
 from repro.astro.spe import SPE
 
 
@@ -123,19 +135,36 @@ def dedisperse(fb: Filterbank, dm: float) -> np.ndarray:
 
     Arrival times are referenced to the top of the band (the highest
     frequency), matching :func:`synthesize_filterbank`'s convention.
+    Delegates to :func:`repro.astro.kernels.dedisperse_batch` (single-row
+    call); the seed's per-channel loop is retained as
+    :func:`repro.astro.kernels._reference_dedisperse`.
     """
     if dm < 0:
         raise ValueError("DM must be non-negative")
-    freqs = fb.channel_freqs_mhz
-    out = np.zeros(fb.n_samples, dtype=np.float64)
-    for ch, f in enumerate(freqs):
-        delay = K_DM * dm * (f**-2 - fb.f_high_mhz**-2)
-        shift = int(round(delay / fb.sample_time_s))
-        if shift == 0:
-            out += fb.data[ch]
-        elif shift < fb.n_samples:
-            out[: fb.n_samples - shift] += fb.data[ch, shift:]
-    return out / np.sqrt(fb.n_channels)
+    return dedisperse_batch(
+        fb.data, fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s, [dm]
+    )[0]
+
+
+def dedisperse_all(
+    fb: Filterbank,
+    trial_dms: np.ndarray,
+    method: str = "batch",
+    out_dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """The full (n_dms × n_samples) dedispersed block in one call.
+
+    ``method="batch"`` is exact (matches :func:`dedisperse` per row);
+    ``method="subband"`` reuses partial sums across neighbouring trial DMs
+    and is tolerance-bounded (≤ ~2 samples of shift error per channel) —
+    a large win on fine DM ladders.
+    """
+    args = (fb.data, fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s, trial_dms)
+    if method == "batch":
+        return dedisperse_batch(*args, out_dtype=out_dtype)
+    if method == "subband":
+        return dedisperse_subband(*args, out_dtype=out_dtype)
+    raise ValueError(f"unknown dedispersion method: {method!r}")
 
 
 def single_pulse_search(
@@ -143,19 +172,71 @@ def single_pulse_search(
     trial_dms: np.ndarray,
     snr_threshold: float = 5.0,
     boxcar_widths: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    dtype: np.dtype | type = np.float32,
+    dedispersion: str = "batch",
 ) -> list[SPE]:
-    """PRESTO-style single pulse search: matched boxcars over dedispersed
-    series at each trial DM; each above-threshold local maximum is one SPE.
+    """PRESTO-style single pulse search over the whole trial-DM grid.
 
-    SNR is estimated against the robust (median/MAD) noise level of each
-    dedispersed series, per width.
+    Vectorized front end: one batch dedispersion of the full grid, then an
+    O(n) cumulative-sum boxcar filter per series with median/MAD noise
+    estimated once per series, and a vectorized threshold + local-maxima
+    pass (:mod:`repro.astro.kernels`).
+
+    Sample convention: boxcar windows are **left-aligned** — each emitted
+    SPE's ``sample`` (and ``time_s = sample × t_samp``) is the *first*
+    sample of the best-matching width-``downfact`` window, which therefore
+    covers ``[time_s, time_s + downfact × t_samp)``.  The seed centred
+    windows with ``np.convolve(..., mode="same")``, which put even-width
+    boxcars half a sample off; that implementation is retained as
+    :func:`_reference_single_pulse_search`.
+
+    ``dtype`` controls the accumulation precision of the search path.  The
+    float32 default halves memory traffic (PRESTO dedisperses in float32
+    too) and perturbs SNRs only at the 1e-5 level; pass ``np.float64`` for
+    bit-level agreement with the float64 kernels.
+    """
+    if snr_threshold <= 0:
+        raise ValueError("snr_threshold must be positive")
+    trial_dms = np.asarray(trial_dms, dtype=float)
+    block = dedisperse_all(fb, trial_dms, method=dedispersion, out_dtype=dtype)
+    rows, samples, snrs, widths = single_pulse_block_search(
+        block, snr_threshold, boxcar_widths
+    )
+    return [
+        SPE(
+            dm=float(trial_dms[d]),
+            snr=round(float(s), 3),
+            time_s=round(int(i) * fb.sample_time_s, 6),
+            sample=int(i),
+            downfact=int(w),
+        )
+        for d, i, s, w in zip(rows, samples, snrs, widths)
+    ]
+
+
+def _reference_single_pulse_search(
+    fb: Filterbank,
+    trial_dms: np.ndarray,
+    snr_threshold: float = 5.0,
+    boxcar_widths: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> list[SPE]:
+    """The seed's naive search, retained as the benchmark baseline.
+
+    Per trial DM: a per-channel Python dedispersion loop, an O(n·w)
+    ``np.convolve`` per boxcar width with median/MAD re-estimated on every
+    smoothed series, and a Python local-maxima scan.  Note the two seed
+    conventions the vectorized path deliberately changes: windows are
+    centred (``mode="same"``, half a sample off for even widths) and noise
+    is estimated per width rather than once per series.
     """
     if snr_threshold <= 0:
         raise ValueError("snr_threshold must be positive")
     trial_dms = np.asarray(trial_dms, dtype=float)
     spes: list[SPE] = []
     for dm in trial_dms:
-        series = dedisperse(fb, float(dm))
+        series = _reference_dedisperse(
+            fb.data, fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s, float(dm)
+        )
         best_snr = np.full(series.size, -np.inf)
         best_width = np.ones(series.size, dtype=int)
         for width in boxcar_widths:

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.astro.dispersion import DMGrid, dispersion_delay_s, smearing_snr_factor
+from repro.astro.dispersion import (
+    K_DM,
+    DMGrid,
+    smearing_snr_factor,
+    smearing_snr_factors,
+)
 from repro.astro.population import Pulsar
 from repro.astro.spe import SPE
 
@@ -134,26 +139,28 @@ def generate_pulsar_spes(
             continue
         pulse_spes: list[int] = []
         # Arrival-time drift: dedispersing at DM' shifts the apparent arrival
-        # by roughly half the residual intra-band delay.
-        for trial_dm in trials:
-            delta = float(trial_dm - pulsar.dm)
-            snr = peak_snr * smearing_snr_factor(
-                delta, width_ms, center_freq_mhz, bandwidth_mhz
-            )
-            snr += float(rng.normal(0.0, 0.25))  # radiometer noise on the estimate
-            if snr < snr_threshold:
-                continue
-            drift = 0.5 * dispersion_delay_s(abs(delta), f_low, f_high)
-            t = t_pulse + (drift if delta > 0 else -drift)
-            if not 0.0 <= t < obs_length_s:
-                continue
+        # by roughly half the residual intra-band delay.  The whole trial-DM
+        # footprint is evaluated in one vectorized pass; the noise draw uses
+        # one size=n call, which consumes the generator stream exactly like
+        # the seed's per-trial scalar draws did.
+        deltas = trials - pulsar.dm
+        snr_arr = peak_snr * smearing_snr_factors(
+            deltas, width_ms, center_freq_mhz, bandwidth_mhz
+        )
+        snr_arr += rng.normal(0.0, 0.25, size=trials.size)  # radiometer noise
+        drift = 0.5 * (K_DM * np.abs(deltas) * (f_low**-2 - f_high**-2))
+        t_arr = t_pulse + np.where(deltas > 0, drift, -drift)
+        keep = (snr_arr >= snr_threshold) & (t_arr >= 0.0) & (t_arr < obs_length_s)
+        downfact = max(1, int(width_ms / (sample_time_s * 1e3)))
+        for j in np.nonzero(keep)[0]:
+            t = float(t_arr[j])
             spes.append(
                 SPE(
-                    dm=float(trial_dm),
-                    snr=round(float(snr), 3),
+                    dm=float(trials[j]),
+                    snr=round(float(snr_arr[j]), 3),
                     time_s=round(t, 6),
                     sample=int(t / sample_time_s),
-                    downfact=max(1, int(width_ms / (sample_time_s * 1e3))),
+                    downfact=downfact,
                 )
             )
             pulse_spes.append(start_index + len(spes) - 1)

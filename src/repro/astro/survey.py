@@ -172,7 +172,7 @@ def generate_observation(
     times = np.array([s.time_s for s in spes])
     dms = np.array([s.dm for s in spes])
     snrs = np.array([s.snr for s in spes])
-    steps = np.array([dms[i] / grid.spacing_at(dms[i]) for i in range(len(spes))])
+    steps = dms / grid.spacing_of(dms)
 
     clusterer = default_clusterer(grid)
     labels, clusters = clusterer.fit(times, dms, snrs, steps)

@@ -1,0 +1,272 @@
+"""Kernel-layer equivalence: vectorized front end vs retained references.
+
+Property tests (hypothesis) assert that the batch/subband dedispersion,
+O(n) boxcar search, and grid-indexed DBSCAN kernels agree with the naive
+``_reference_*`` implementations they replaced — bit-for-bit where the
+kernels are exact, tolerance-bounded where they trade exactness for reuse
+(subband).  A golden end-to-end test checks an injected pulse is recovered
+at its true DM/time/width by the vectorized search.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.astro.clustering import Cluster, SinglePulseDBSCAN
+from repro.astro.dispersion import DMGrid, smearing_snr_factor, smearing_snr_factors
+from repro.astro.filterbank import (
+    InjectedPulse,
+    _reference_single_pulse_search,
+    dedisperse,
+    dedisperse_all,
+    single_pulse_search,
+    synthesize_filterbank,
+)
+from repro.astro.kernels import (
+    _reference_boxcar_snr,
+    _reference_dedisperse,
+    _reference_find_peaks,
+    boxcar_snr,
+    dedisperse_batch,
+    dedisperse_subband,
+    find_peaks,
+    single_pulse_block_search,
+)
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _filterbank_block(rng: np.random.Generator, n_chan: int, n_samples: int):
+    data = rng.normal(0.0, 1.0, size=(n_chan, n_samples))
+    edges = np.linspace(300.0, 400.0, n_chan + 1)
+    freqs = 0.5 * (edges[:-1] + edges[1:])
+    return data, freqs, 400.0
+
+
+class TestBatchDedispersion:
+    @SETTINGS
+    @given(
+        n_chan=st.integers(2, 24),
+        n_samples=st.integers(8, 300),
+        dms=st.lists(st.floats(0.0, 300.0), min_size=1, max_size=8),
+        seed=st.integers(0, 2**31),
+    )
+    def test_batch_matches_reference(self, n_chan, n_samples, dms, seed):
+        """Each batch row is the per-DM reference within 1e-9 (float64)."""
+        rng = np.random.default_rng(seed)
+        data, freqs, f_ref = _filterbank_block(rng, n_chan, n_samples)
+        block = dedisperse_batch(data, freqs, f_ref, 1e-3, dms)
+        for row, dm in zip(block, dms):
+            ref = _reference_dedisperse(data, freqs, f_ref, 1e-3, float(dm))
+            assert np.max(np.abs(row - ref)) <= 1e-9
+
+    @SETTINGS
+    @given(
+        n_chan=st.integers(4, 32),
+        n_samples=st.integers(64, 400),
+        dm_lo=st.floats(0.0, 100.0),
+        step=st.floats(0.01, 0.2),
+        n_dms=st.integers(2, 30),
+        seed=st.integers(0, 2**31),
+    )
+    def test_subband_within_shift_tolerance(
+        self, n_chan, n_samples, dm_lo, step, n_dms, seed
+    ):
+        """Subband shifts differ from exact ones by ≤ tol_samples + 1.
+
+        Checked structurally on a noiseless dispersed impulse: at the exact
+        peak's (DM row, sample), all of the pulse's mass must land within
+        ±(tol + 2) samples in the subband output — per-channel quantization
+        may split the peak across neighbouring samples (especially with few
+        channels) but cannot move mass out of that window.
+        """
+        rng = np.random.default_rng(seed)
+        dms = dm_lo + step * np.arange(n_dms)
+        data = np.zeros((n_chan, n_samples))
+        edges = np.linspace(300.0, 400.0, n_chan + 1)
+        freqs = 0.5 * (edges[:-1] + edges[1:])
+        # A dispersed impulse at the middle DM of the ladder.
+        from repro.astro.dispersion import K_DM
+
+        true_dm = float(dms[n_dms // 2])
+        t0 = n_samples // 2
+        for ch in range(n_chan):
+            delay = K_DM * true_dm * (freqs[ch] ** -2 - 400.0**-2)
+            s = t0 + int(round(delay / 1e-3))
+            if s < n_samples:
+                data[ch, s] = 1.0
+        batch = dedisperse_batch(data, freqs, 400.0, 1e-3, dms)
+        sub = dedisperse_subband(data, freqs, 400.0, 1e-3, dms, tol_samples=1.0)
+        assert sub.shape == batch.shape
+        d, i = np.unravel_index(batch.argmax(), batch.shape)
+        window = sub[d, max(0, i - 3) : i + 4]
+        assert window.sum() >= 0.95 * batch[d, i]
+
+    def test_subband_falls_back_on_coarse_ladders(self):
+        """Widely spaced DMs admit no partial-sum reuse: exact path used."""
+        rng = np.random.default_rng(0)
+        data, freqs, f_ref = _filterbank_block(rng, 16, 256)
+        dms = [0.0, 150.0, 400.0, 900.0]
+        sub = dedisperse_subband(data, freqs, f_ref, 1e-3, dms)
+        batch = dedisperse_batch(data, freqs, f_ref, 1e-3, dms)
+        assert np.array_equal(sub, batch)
+
+    def test_single_dm_wrapper_matches_batch(self):
+        fb = synthesize_filterbank(duration_s=0.5, n_channels=16, seed=5)
+        one = dedisperse(fb, 42.0)
+        block = dedisperse_all(fb, np.array([42.0]))
+        assert np.array_equal(one, block[0])
+
+
+class TestBoxcarSearch:
+    @SETTINGS
+    @given(
+        n=st.integers(1, 400),
+        seed=st.integers(0, 2**31),
+        widths=st.lists(
+            st.sampled_from([1, 2, 3, 4, 8, 16, 32]), min_size=1, max_size=5, unique=True
+        ),
+    )
+    def test_cumsum_boxcar_matches_reference(self, n, seed, widths):
+        """O(n) cumulative-sum z-scores equal the O(n·w) convolution ones."""
+        widths = tuple(sorted(widths))
+        rng = np.random.default_rng(seed)
+        series = rng.normal(0.0, 1.0, size=n)
+        snr, width = boxcar_snr(series, widths)
+        snr_ref, width_ref = _reference_boxcar_snr(series, widths)
+        np.testing.assert_allclose(snr, snr_ref, rtol=1e-7, atol=1e-8)
+        assert np.array_equal(width, width_ref)
+
+    @SETTINGS
+    @given(
+        n=st.integers(1, 300),
+        seed=st.integers(0, 2**31),
+        threshold=st.floats(0.5, 6.0),
+    )
+    def test_vectorized_peaks_match_reference_scan(self, n, seed, threshold):
+        rng = np.random.default_rng(seed)
+        snr = rng.normal(0.0, 2.0, size=n)
+        assert np.array_equal(
+            find_peaks(snr, threshold), _reference_find_peaks(snr, threshold)
+        )
+
+    @SETTINGS
+    @given(
+        n_rows=st.integers(1, 4),
+        n=st.integers(2, 300),
+        seed=st.integers(0, 2**31),
+    )
+    def test_block_search_matches_per_series_kernels(self, n_rows, n, seed):
+        """The fused block search is exactly per-row boxcar_snr + find_peaks."""
+        rng = np.random.default_rng(seed)
+        block = rng.normal(0.0, 1.0, size=(n_rows, n))
+        widths = (1, 2, 4, 8)
+        rows, samples, snrs, wid = single_pulse_block_search(block, 2.0, widths)
+        got = {(int(r), int(s)): (float(v), int(w))
+               for r, s, v, w in zip(rows, samples, snrs, wid)}
+        expect = {}
+        for r in range(n_rows):
+            snr, width = boxcar_snr(block[r], widths)
+            for s in find_peaks(snr, 2.0):
+                expect[(r, int(s))] = (float(snr[s]), int(width[s]))
+        assert got.keys() == expect.keys()
+        for key, (v, w) in expect.items():
+            assert got[key] == (pytest.approx(v), w)
+
+
+class TestGoldenRecovery:
+    def test_injected_pulse_recovered_at_truth(self):
+        """End to end: the vectorized search finds the injected pulse at its
+        true DM, time, and width."""
+        true = InjectedPulse(time_s=4.0, dm=60.0, width_ms=16.0, amplitude=1.5)
+        fb = synthesize_filterbank(
+            duration_s=8.0, n_channels=64, f_low_mhz=300.0, f_high_mhz=400.0,
+            sample_time_s=2e-3, pulses=[true], seed=11,
+        )
+        trials = np.arange(30.0, 90.0, 1.0)
+        spes = single_pulse_search(fb, trials, snr_threshold=6.0)
+        assert spes
+        best = max(spes, key=lambda s: s.snr)
+        assert abs(best.dm - true.dm) <= 2.0
+        # Left-aligned convention: the window *starts* at best.time_s and
+        # covers the pulse centroid.
+        window_s = best.downfact * fb.sample_time_s
+        assert best.time_s - window_s <= true.time_s <= best.time_s + 2 * window_s
+        # Best-matching boxcar is within a factor ~2 of the true width.
+        true_width_samples = true.width_ms / 1e3 / fb.sample_time_s
+        assert true_width_samples / 4 <= best.downfact <= true_width_samples * 8
+
+    def test_vectorized_and_reference_search_agree_on_detections(self):
+        """Same pulse, both paths: peak DM agrees; SNRs within a few %.
+
+        (Emitted sample positions deliberately differ: the reference centres
+        windows, the kernel left-aligns them.)
+        """
+        true = InjectedPulse(time_s=2.0, dm=45.0, width_ms=10.0, amplitude=1.5)
+        fb = synthesize_filterbank(
+            duration_s=4.0, n_channels=32, sample_time_s=2e-3, pulses=[true], seed=2,
+        )
+        trials = np.arange(30.0, 60.0, 1.5)
+        vec = single_pulse_search(fb, trials, snr_threshold=6.0, dtype=np.float64)
+        ref = _reference_single_pulse_search(fb, trials, snr_threshold=6.0)
+        assert vec and ref
+        bv, br = max(vec, key=lambda s: s.snr), max(ref, key=lambda s: s.snr)
+        assert bv.dm == br.dm
+        assert abs(bv.snr - br.snr) / br.snr < 0.1
+
+
+class TestGridDBSCAN:
+    @SETTINGS
+    @given(
+        n=st.integers(0, 250),
+        n_blobs=st.integers(1, 5),
+        spread=st.floats(0.2, 3.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_grid_labels_equal_reference_labels(self, n, n_blobs, spread, seed):
+        """The lexsorted cell index yields *identical* labels to the dict
+        version: neighbour sets are equal, and the expansion order is fixed
+        by the outer loop, not the neighbour enumeration order."""
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(-40.0, 40.0, size=(n_blobs, 2))
+        pts = centers[rng.integers(0, n_blobs, size=n)]
+        pts = pts + rng.normal(0.0, spread, size=(n, 2)) if n else pts
+        x, y = (pts[:, 0], pts[:, 1]) if n else (np.empty(0), np.empty(0))
+        db = SinglePulseDBSCAN()
+        assert np.array_equal(db._dbscan(x, y), db._reference_dbscan(x, y))
+
+    @SETTINGS
+    @given(dms=st.lists(st.floats(0.0, 4000.0), min_size=1, max_size=50))
+    def test_spacing_of_matches_spacing_at(self, dms):
+        grid = DMGrid(max_dm=2000.0, coarsen=3.0)
+        vec = grid.spacing_of(np.array(dms))
+        assert np.array_equal(vec, np.array([grid.spacing_at(d) for d in dms]))
+
+    @SETTINGS
+    @given(
+        deltas=st.lists(st.floats(-50.0, 50.0), min_size=1, max_size=20),
+        width_ms=st.floats(0.5, 50.0),
+    )
+    def test_vectorized_smearing_factors_match_scalar(self, deltas, width_ms):
+        vec = smearing_snr_factors(np.array(deltas), width_ms, 350.0, 100.0)
+        ref = [smearing_snr_factor(d, width_ms, 350.0, 100.0) for d in deltas]
+        np.testing.assert_allclose(vec, ref, rtol=1e-12)
+
+
+class TestClusterPersistence:
+    def test_csv_roundtrip_preserves_size(self):
+        """Satellite bug: ``from_csv_row`` used to drop the size field."""
+        c = Cluster(
+            cluster_id=3, indices=[4, 9, 11], dm_lo=10.0, dm_hi=12.0,
+            t_lo=1.0, t_hi=1.5, max_snr=9.5,
+        )
+        assert c.size == 3
+        back = Cluster.from_csv_row(c.to_csv_row())
+        assert back.indices == []
+        assert back.n_spes == 3
+        assert back.size == 3
+        # And a second round trip keeps it.
+        assert Cluster.from_csv_row(back.to_csv_row()).size == 3
