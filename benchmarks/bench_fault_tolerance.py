@@ -1,0 +1,178 @@
+"""Fault-tolerance benchmark: what does surviving failures cost?
+
+Four questions, answered against a real measured D-RAPID-shaped job:
+
+1. **Zero-fault overhead** — the event-driven stage engine must reduce to
+   the legacy FIFO list schedule when nothing fails: overhead < 2%.
+2. **Failure inflation** — simulated makespan vs the number of executor
+   failures in the trace: monotone, with re-execution and re-fetch charged.
+3. **Speculation** — under a straggler distribution, speculative execution
+   must beat speculation-off wall time.
+4. **Chaos recovery cost** — wall time and recovery counters of a real
+   Sparklet job under seeded fault injection vs fault-free (the overhead of
+   retries + recomputation waves in the serial engine, results identical).
+
+Writes ``BENCH_fault_tolerance.json`` at the repo root and a table under
+``benchmarks/results/``.
+
+Run:    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py
+or:     PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_fault_tolerance.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _bench_utils import emit, format_table
+from repro.sparklet import FaultConfig, SparkletContext
+from repro.sparklet.cluster import ClusterConfig
+from repro.sparklet.simulation import (
+    SimFaultProfile,
+    SpeculationConfig,
+    StragglerModel,
+    simulate_job,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_fault_tolerance.json"
+
+CONFIG = ClusterConfig(num_executors=5, data_scale=200.0)
+
+
+def measure_job(fault_config: FaultConfig | None = None):
+    """Run a two-shuffle aggregation job for real; return (ctx, metrics, wall)."""
+    ctx = SparkletContext(
+        default_parallelism=8, max_task_retries=8, fault_config=fault_config
+    )
+    t0 = time.perf_counter()
+    (
+        ctx.parallelize([(i % 97, float(i)) for i in range(40_000)], 16)
+        .reduce_by_key(lambda a, b: a + b)
+        .map(lambda kv: (kv[0] % 7, kv[1]))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    wall = time.perf_counter() - t0
+    return ctx, ctx.all_job_metrics(), wall
+
+
+def bench_zero_fault_overhead(job) -> dict:
+    legacy = simulate_job(job, CONFIG)
+    event = simulate_job(job, CONFIG, faults=SimFaultProfile())
+    overhead_pct = 100.0 * (event.elapsed_s - legacy.elapsed_s) / legacy.elapsed_s
+    return {
+        "legacy_elapsed_s": round(legacy.elapsed_s, 6),
+        "event_elapsed_s": round(event.elapsed_s, 6),
+        "overhead_pct": round(overhead_pct, 4),
+    }
+
+
+def bench_failure_inflation(job) -> list[dict]:
+    rows = []
+    base = simulate_job(job, CONFIG, faults=SimFaultProfile()).elapsed_s
+    for n_failures in (0, 1, 2, 3):
+        trace = tuple((0.2 * (k + 1), k) for k in range(n_failures))
+        run = simulate_job(job, CONFIG, faults=SimFaultProfile(executor_failures=trace))
+        rows.append(
+            {
+                "n_failures": n_failures,
+                "elapsed_s": round(run.elapsed_s, 4),
+                "slowdown": round(run.elapsed_s / base, 3),
+                "n_requeued": run.n_requeued,
+                "recompute_task_s": round(run.stages[-1].recompute_task_s
+                                          + run.stages[0].recompute_task_s, 4),
+            }
+        )
+    return rows
+
+
+def bench_speculation(job) -> dict:
+    stragglers = StragglerModel(prob=0.15, factor=6.0, seed=7)
+    off = simulate_job(job, CONFIG, faults=SimFaultProfile(stragglers=stragglers))
+    on = simulate_job(
+        job,
+        CONFIG,
+        faults=SimFaultProfile(
+            stragglers=stragglers, speculation=SpeculationConfig(enabled=True)
+        ),
+    )
+    return {
+        "straggler_prob": stragglers.prob,
+        "straggler_factor": stragglers.factor,
+        "spec_off_elapsed_s": round(off.elapsed_s, 4),
+        "spec_on_elapsed_s": round(on.elapsed_s, 4),
+        "speedup": round(off.elapsed_s / on.elapsed_s, 3),
+        "n_speculative": on.n_speculative,
+        "n_spec_wins": on.n_spec_wins,
+    }
+
+
+def bench_chaos_recovery() -> dict:
+    _, clean_metrics, clean_wall = measure_job()
+    ctx, metrics, wall = measure_job(FaultConfig.chaos(seed=12, rate=0.15))
+    return {
+        "clean_wall_s": round(clean_wall, 4),
+        "chaos_wall_s": round(wall, 4),
+        "faults_fired": ctx.runtime.fault_injector.total_fired,
+        "fired_by_kind": ctx.runtime.fault_injector.fired_by_kind(),
+        "total_retries": metrics.total_retries,
+        "n_recomputed_stages": metrics.n_recomputed_stages,
+        "n_recomputed_tasks": metrics.n_recomputed_tasks,
+        "clean_n_stages": len(clean_metrics.stages),
+        "chaos_n_stages": len(metrics.stages),
+    }
+
+
+def run_all() -> dict:
+    _, job, _ = measure_job()
+    zero = bench_zero_fault_overhead(job)
+    inflation = bench_failure_inflation(job)
+    speculation = bench_speculation(job)
+    chaos = bench_chaos_recovery()
+
+    results = {
+        "benchmark": "fault_tolerance",
+        "generated_by": "benchmarks/bench_fault_tolerance.py",
+        "zero_fault_overhead": zero,
+        "failure_inflation": inflation,
+        "speculation": speculation,
+        "chaos_recovery": chaos,
+    }
+    RESULT_JSON.write_text(json.dumps(results, indent=2) + "\n")
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["zero-fault overhead %", zero["overhead_pct"]],
+            ["spec off s", speculation["spec_off_elapsed_s"]],
+            ["spec on s", speculation["spec_on_elapsed_s"]],
+            ["spec speedup", f'{speculation["speedup"]}x'],
+            ["chaos faults fired", chaos["faults_fired"]],
+            ["chaos retries", chaos["total_retries"]],
+            ["chaos recomputed stages", chaos["n_recomputed_stages"]],
+        ]
+        + [
+            [f'{r["n_failures"]} failure(s) slowdown', f'{r["slowdown"]}x']
+            for r in inflation
+        ],
+    )
+    emit("BENCH_fault_tolerance", table + f"\n\nwritten: {RESULT_JSON}")
+    return results
+
+
+def test_fault_tolerance_benchmark():
+    """Acceptance: <2% zero-fault overhead; speculation beats stragglers."""
+    results = run_all()
+    assert abs(results["zero_fault_overhead"]["overhead_pct"]) < 2.0, results
+    spec = results["speculation"]
+    assert spec["spec_on_elapsed_s"] < spec["spec_off_elapsed_s"], spec
+    inflation = [r["elapsed_s"] for r in results["failure_inflation"]]
+    assert inflation == sorted(inflation), inflation
+    assert results["chaos_recovery"]["faults_fired"] > 0
+    assert RESULT_JSON.exists()
+
+
+if __name__ == "__main__":
+    run_all()

@@ -35,6 +35,7 @@ from repro.sparklet.partitioner import HashPartitioner
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfs import DFSClient
+    from repro.sparklet.faults import FaultConfig
 
 #: The paper assigns 32 partitions per executor core (Section 6.1).
 PARTITIONS_PER_CORE = 32
@@ -130,6 +131,13 @@ class DRapidDriver:
     grids: dict[str, DMGrid] = field(default_factory=dict)
     params: SearchParams = field(default_factory=SearchParams)
     num_partitions: int = 16
+    #: Optional chaos knob: arm the context's seeded fault injector before
+    #: running, exercising lineage recovery during the production job.
+    fault_config: "FaultConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.fault_config is not None:
+            self.ctx.install_faults(self.fault_config)
 
     @classmethod
     def with_paper_partitioning(

@@ -28,6 +28,7 @@ from repro.sparklet.context import SparkletContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ml.metrics import ClassificationReport
+    from repro.sparklet.faults import FaultConfig
 
 
 @dataclass
@@ -55,6 +56,9 @@ class SinglePulsePipeline:
     grid_coarsen: float = 10.0
     num_partitions: int = 8
     seed: int = 0
+    #: Optional chaos knob, forwarded to the D-RAPID driver: stage 3 then
+    #: runs under seeded fault injection (results are unchanged by design).
+    fault_config: "FaultConfig | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.scheme, str):
@@ -96,7 +100,7 @@ class SinglePulsePipeline:
         grids = {self.survey.name: observations[0].grid} if observations else {}
         driver = DRapidDriver(
             ctx=ctx, dfs=dfs, grids=grids, params=self.params,
-            num_partitions=self.num_partitions,
+            num_partitions=self.num_partitions, fault_config=self.fault_config,
         )
         result = driver.run(data_path, cluster_path)
         # Round-trip check: the ML files on the DFS reproduce the pulses.

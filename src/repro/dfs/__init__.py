@@ -18,7 +18,7 @@ Public API:
 from repro.dfs.blocks import Block, BlockId, DEFAULT_BLOCK_SIZE
 from repro.dfs.namenode import FileEntry, NameNode
 from repro.dfs.datanode import DataNode, DataNodeFullError
-from repro.dfs.client import DFSClient, DFSError, FileNotFoundInDFS
+from repro.dfs.client import DFSClient, DFSError, FileNotFoundInDFS, HeartbeatReport
 
 __all__ = [
     "Block",
@@ -30,5 +30,6 @@ __all__ = [
     "DFSError",
     "FileEntry",
     "FileNotFoundInDFS",
+    "HeartbeatReport",
     "NameNode",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dfs.blocks import DEFAULT_BLOCK_SIZE, Block, BlockId, split_into_blocks
@@ -16,6 +17,20 @@ class DFSError(RuntimeError):
 
 class FileNotFoundInDFS(DFSError):
     """Requested path does not exist in the namespace."""
+
+
+@dataclass(frozen=True)
+class HeartbeatReport:
+    """What one heartbeat sweep observed and repaired."""
+
+    now: float
+    #: Nodes declared dead this tick (heartbeat older than the timeout).
+    declared_dead: tuple[str, ...]
+    #: Replicas created by re-replication this tick.
+    replicas_restored: int
+    #: Nodes that (re)registered this tick and had their block reports
+    #: processed (first contact, or a revival after being declared dead).
+    registered: tuple[str, ...]
 
 
 class DFSClient:
@@ -159,7 +174,43 @@ class DFSClient:
         node = self._nodes[node_id]
         node.kill()
         self.namenode.forget_node(node_id)
+        self.namenode.forget_heartbeat(node_id)
         self.rereplicate()
+
+    def heartbeat_tick(self, now: float, timeout: float = 30.0) -> HeartbeatReport:
+        """One sweep of the namenode's heartbeat monitor at time ``now``.
+
+        Live datanodes check in; a node whose last heartbeat is older than
+        ``timeout`` is declared dead (its replica records dropped, its blocks
+        re-replicated from surviving copies).  A node heartbeating with no
+        tracked heartbeat — first contact, or a revival after expiry — has
+        its block report processed: replicas of known blocks re-register,
+        orphan blocks (deleted files) are invalidated on the node.
+
+        Drive this with a monotonically increasing clock; the DFS has no
+        clock of its own, so failure detection is deterministic.
+        """
+        registered: list[str] = []
+        for node in self._live_nodes():
+            if self.namenode.last_heartbeat(node.node_id) is None:
+                for bid in node.block_ids():
+                    if self.namenode.has_block(bid):
+                        self.namenode.add_replica(bid, node.node_id)
+                    else:
+                        node.drop(bid)
+                registered.append(node.node_id)
+            self.namenode.record_heartbeat(node.node_id, now)
+        dead = self.namenode.expired_nodes(now, timeout)
+        for node_id in dead:
+            self.namenode.forget_node(node_id)
+            self.namenode.forget_heartbeat(node_id)
+        fixed = self.rereplicate()
+        return HeartbeatReport(
+            now=now,
+            declared_dead=tuple(dead),
+            replicas_restored=fixed,
+            registered=tuple(registered),
+        )
 
     def rereplicate(self) -> int:
         """Restore replication for under-replicated blocks; return count fixed."""

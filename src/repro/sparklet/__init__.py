@@ -23,24 +23,53 @@ the parts of that stack the paper's design depends on:
 """
 
 from repro.sparklet.context import SparkletContext
+from repro.sparklet.faults import (
+    EXECUTOR_LOSS,
+    FETCH_FAILURE,
+    TASK_CRASH,
+    ExecutorLostFailure,
+    FailureRule,
+    FaultConfig,
+    FaultInjector,
+    FetchFailedException,
+    TaskFailure,
+)
 from repro.sparklet.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.sparklet.rdd import RDD
 from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
 from repro.sparklet.cluster import ClusterConfig, ExecutorSpec, ResourceManager
-from repro.sparklet.simulation import SimulatedRun, simulate_job
+from repro.sparklet.simulation import (
+    SimFaultProfile,
+    SimulatedRun,
+    SpeculationConfig,
+    StragglerModel,
+    simulate_job,
+)
 
 __all__ = [
     "ClusterConfig",
+    "EXECUTOR_LOSS",
+    "ExecutorLostFailure",
     "ExecutorSpec",
+    "FETCH_FAILURE",
+    "FailureRule",
+    "FaultConfig",
+    "FaultInjector",
+    "FetchFailedException",
     "HashPartitioner",
     "JobMetrics",
     "Partitioner",
     "RDD",
     "RangePartitioner",
     "ResourceManager",
+    "SimFaultProfile",
     "SimulatedRun",
     "SparkletContext",
+    "SpeculationConfig",
     "StageMetrics",
+    "StragglerModel",
+    "TASK_CRASH",
+    "TaskFailure",
     "TaskMetrics",
     "simulate_job",
 ]

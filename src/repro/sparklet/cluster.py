@@ -32,10 +32,14 @@ class NodeCapacity:
     memory_mb: int
     used_vcores: int = 0
     used_memory_mb: int = 0
+    #: Decommissioned nodes keep their bookkeeping but accept no new
+    #: containers (YARN's DECOMMISSIONED node state).
+    unschedulable: bool = False
 
     def can_fit(self, spec: ExecutorSpec) -> bool:
         return (
-            self.vcores - self.used_vcores >= spec.vcores
+            not self.unschedulable
+            and self.vcores - self.used_vcores >= spec.vcores
             and self.memory_mb - self.used_memory_mb >= spec.memory_mb
         )
 
@@ -69,12 +73,21 @@ class ResourceManager:
         if len(self.nodes) != len(nodes):
             raise ValueError("duplicate node ids")
         self._next_container = 0
-        self.granted: list[Container] = []
+        #: container_id -> Container.  Keyed for O(1) release; the public
+        #: ``granted`` property preserves the old list view (grant order).
+        self._granted: dict[int, Container] = {}
+
+    @property
+    def granted(self) -> list[Container]:
+        """Live containers in grant order."""
+        return list(self._granted.values())
 
     def max_executors(self, spec: ExecutorSpec) -> int:
         """How many executors of this spec the cluster can host in total."""
         total = 0
         for node in self.nodes.values():
+            if node.unschedulable:
+                continue
             by_cores = (node.vcores - node.used_vcores) // spec.vcores
             by_mem = (node.memory_mb - node.used_memory_mb) // spec.memory_mb
             total += max(0, min(by_cores, by_mem))
@@ -91,17 +104,39 @@ class ResourceManager:
             node.allocate(spec)
             container = Container(self._next_container, node.node_id, spec)
             self._next_container += 1
-            self.granted.append(container)
+            self._granted[container.container_id] = container
             grants.append(container)
         return grants
 
     def release(self, container: Container) -> None:
+        """Return a container's resources.  Double release is an error."""
+        if container.container_id not in self._granted:
+            raise KeyError(
+                f"container {container.container_id} is not granted (double release?)"
+            )
+        del self._granted[container.container_id]
         self.nodes[container.node_id].release(container.spec)
-        self.granted.remove(container)
 
     def release_all(self) -> None:
-        for container in list(self.granted):
+        for container in self.granted:
             self.release(container)
+
+    def decommission_node(self, node_id: str) -> list[Container]:
+        """Drain a node: release its containers, refuse new placements.
+
+        Models YARN node decommissioning — the Sparklet side sees the
+        released executors as lost and recovers via lineage.  Returns the
+        containers that were evicted.
+        """
+        try:
+            node = self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no such node: {node_id}") from None
+        evicted = [c for c in self._granted.values() if c.node_id == node_id]
+        for container in evicted:
+            self.release(container)
+        node.unschedulable = True
+        return evicted
 
 
 def paper_testbed() -> ResourceManager:

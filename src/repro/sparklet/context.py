@@ -10,6 +10,7 @@ from repro.sparklet.scheduler import DAGScheduler, Runtime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfs import DFSClient
+    from repro.sparklet.faults import FaultConfig, FaultInjector
 
 
 class SparkletContext:
@@ -22,15 +23,27 @@ class SparkletContext:
     """
 
     def __init__(self, app_name: str = "sparklet", default_parallelism: int = 4,
-                 max_task_retries: int = 3) -> None:
+                 max_task_retries: int = 3, num_executors: int = 4,
+                 fault_config: "FaultConfig | None" = None) -> None:
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         self.app_name = app_name
         self.default_parallelism = default_parallelism
-        self.runtime = Runtime()
+        self.runtime = Runtime(num_executors=num_executors)
         self.scheduler = DAGScheduler(self.runtime, max_task_retries=max_task_retries)
         self._rdd_counter = 0
         self._shuffle_counter = 0
+        if fault_config is not None:
+            self.install_faults(fault_config)
+
+    def install_faults(self, config: "FaultConfig") -> "FaultInjector":
+        """Arm the seeded rule-driven fault injector for subsequent jobs."""
+        from repro.sparklet.faults import FaultInjector
+
+        injector = FaultInjector(config)
+        self.runtime.fault_injector = injector
+        self.scheduler.blacklist_threshold = config.max_failures_per_executor
+        return injector
 
     # -- id allocation (used by RDD/ShuffledRDD constructors) ---------------
     def _next_rdd_id(self) -> int:

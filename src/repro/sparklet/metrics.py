@@ -50,6 +50,8 @@ class TaskMetrics:
     #: Preferred executor/datanode ids (HDFS block locality), if any.
     locality: tuple[str, ...] = ()
     attempts: int = 1
+    #: Executor the successful attempt ran on (fault-tolerance bookkeeping).
+    executor_id: str = ""
 
 
 @dataclass
@@ -60,6 +62,13 @@ class StageMetrics:
     name: str
     tasks: list[TaskMetrics] = field(default_factory=list)
     is_shuffle_map: bool = False
+    #: 0 for the first execution; recomputation waves (lineage recovery after
+    #: an executor loss or fetch failure) append new StageMetrics with the
+    #: same stage_id and attempt >= 1.
+    attempt: int = 0
+    n_task_failures: int = 0
+    n_executor_lost: int = 0
+    n_fetch_failures: int = 0
 
     @property
     def total_task_seconds(self) -> float:
@@ -92,6 +101,37 @@ class JobMetrics:
     @property
     def num_tasks(self) -> int:
         return sum(len(s.tasks) for s in self.stages)
+
+    # -- fault-tolerance aggregates --------------------------------------
+    @property
+    def n_task_failures(self) -> int:
+        return sum(s.n_task_failures for s in self.stages)
+
+    @property
+    def n_executor_lost(self) -> int:
+        return sum(s.n_executor_lost for s in self.stages)
+
+    @property
+    def n_fetch_failures(self) -> int:
+        return sum(s.n_fetch_failures for s in self.stages)
+
+    @property
+    def total_failures(self) -> int:
+        return self.n_task_failures + self.n_executor_lost + self.n_fetch_failures
+
+    @property
+    def n_recomputed_stages(self) -> int:
+        """Stage recomputation waves triggered by lineage recovery."""
+        return sum(1 for s in self.stages if s.attempt > 0)
+
+    @property
+    def n_recomputed_tasks(self) -> int:
+        return sum(len(s.tasks) for s in self.stages if s.attempt > 0)
+
+    @property
+    def total_retries(self) -> int:
+        """Extra task attempts beyond the first, summed over all tasks."""
+        return sum(t.attempts - 1 for s in self.stages for t in s.tasks)
 
     def merge(self, other: "JobMetrics") -> "JobMetrics":
         """Concatenate stages of two jobs (e.g., a multi-action pipeline)."""

@@ -5,10 +5,27 @@ but each task is metered (duration, record/byte counts, shuffle volumes,
 locality preferences).  The resulting :class:`~repro.sparklet.metrics
 .JobMetrics` calibrate the discrete-event cluster simulator.
 
-Fault tolerance follows Spark's lineage model: a failed task is simply
-re-run, because everything it needs (parent stage shuffle output or input
-splits) is still available.  A pluggable failure injector lets tests kill
-specific task attempts.
+Fault tolerance follows Spark's lineage model end to end:
+
+- a crashed task attempt is re-run, rotated onto a different executor;
+  repeated failures on one executor blacklist it for future placement;
+- a lost executor takes its registered shuffle map outputs with it — the
+  scheduler invalidates them and re-runs exactly the missing map partitions
+  (a recomputation wave, recorded as a new :class:`StageMetrics` with
+  ``attempt >= 1``) before retrying the victim task;
+- a shuffle-fetch failure invalidates the whole parent shuffle and re-runs
+  the parent map stage via lineage, exactly like Spark's
+  ``FetchFailed`` → map-stage-retry path.
+
+Because shuffle buckets are keyed per map partition and fetched in sorted
+order, and accumulator commits are keyed by logical task, a faulted run
+produces *byte-identical* results and accumulator values to a fault-free
+run — the invariant the chaos suite sweeps over seeds and rule mixes.
+
+Faults come from two sources: the legacy ``Runtime.failure_injector`` hook
+(``f(stage_id, partition, attempt)``, may raise :class:`TaskFailure`) and
+the seeded rule-driven :class:`~repro.sparklet.faults.FaultInjector`
+installed via ``fault_config``.
 """
 
 from __future__ import annotations
@@ -16,6 +33,13 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Iterator
 
+from repro.sparklet.faults import (
+    ExecutorLostFailure,
+    ExecutorPool,
+    FaultInjector,
+    FetchFailedException,
+    TaskFailure,
+)
 from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics, estimate_bytes
 from repro.sparklet.rdd import (
     Dependency,
@@ -25,19 +49,29 @@ from repro.sparklet.rdd import (
 )
 from repro.sparklet.shuffle import ShuffleManager
 
-
-class TaskFailure(RuntimeError):
-    """Raised inside a task to simulate executor/task failure."""
+__all__ = [
+    "DAGScheduler",
+    "Runtime",
+    "Stage",
+    "TaskFailure",
+    "ExecutorLostFailure",
+    "FetchFailedException",
+]
 
 
 class Runtime:
     """Per-context mutable execution state shared by tasks."""
 
-    def __init__(self) -> None:
+    def __init__(self, num_executors: int = 4) -> None:
         self.shuffle = ShuffleManager()
         self.cache: dict[tuple[int, int], list[Any]] = {}
         #: Optional hook: f(stage_id, partition, attempt) may raise TaskFailure.
         self.failure_injector: Callable[[int, int, int], None] | None = None
+        #: Rule-driven seeded injector (installed via fault_config).
+        self.fault_injector: FaultInjector | None = None
+        #: Executor containers tasks are placed on (for blacklisting and
+        #: map-output loss accounting; execution itself stays serial).
+        self.executors = ExecutorPool(num_executors)
         #: Accumulators registered via SparkletContext.accumulator(); the
         #: scheduler commits their per-attempt buffers on task success only.
         self.accumulators: list[Any] = []
@@ -68,12 +102,21 @@ class DAGScheduler:
     def __init__(self, runtime: Runtime, max_task_retries: int = 3) -> None:
         self.runtime = runtime
         self.max_task_retries = max_task_retries
+        #: Fetch-failure recovery waves tolerated per task before giving up.
+        self.max_stage_recoveries = 8
+        #: Task failures on one executor before it is blacklisted.
+        self.blacklist_threshold = 2
         self._next_stage_id = 0
         self._next_job_id = 0
         #: shuffle_id -> Stage that produces it (reused across jobs, like
         #: Spark's map output tracker keeping completed shuffle stages).
         self._shuffle_stages: dict[int, Stage] = {}
         self._completed_shuffles: set[int] = set()
+        #: shuffle_id -> map partition -> executor that produced the output.
+        #: Mirrors Spark's MapOutputTracker; executor loss erases entries.
+        self._map_outputs: dict[int, dict[int, str]] = {}
+        #: stage_id -> number of times the stage has executed (attempt index).
+        self._stage_attempts: dict[int, int] = {}
         self.job_history: list[JobMetrics] = []
 
     # -- stage graph construction ----------------------------------------
@@ -107,6 +150,30 @@ class DAGScheduler:
             self._shuffle_stages[dep.shuffle_id] = stage
         return stage
 
+    # -- shuffle output tracking ------------------------------------------
+    def _missing_map_partitions(self, stage: Stage) -> list[int]:
+        assert stage.shuffle_dep is not None
+        registered = self._map_outputs.get(stage.shuffle_dep.shuffle_id, {})
+        return [p for p in range(stage.rdd.num_partitions) if p not in registered]
+
+    def _ensure_parent_shuffles(self, rdd: RDD, job: JobMetrics) -> None:
+        """Regenerate any missing map outputs the given RDD reads.
+
+        Loops until the shuffle is actually whole: a recomputation wave can
+        itself lose an executor, invalidating map outputs that were healthy
+        when the wave's todo list was computed.  Termination is guaranteed
+        because executor-loss rules carry finite ``max_fires`` budgets.
+        """
+        for sid in _shuffle_reads_of(rdd):
+            stage = self._shuffle_stages.get(sid)
+            if stage is None:
+                continue
+            while True:
+                missing = self._missing_map_partitions(stage)
+                if not missing and sid in self._completed_shuffles:
+                    break
+                self._run_shuffle_map_stage(stage, job, missing or None)
+
     # -- execution ---------------------------------------------------------
     def run_job(
         self,
@@ -136,44 +203,121 @@ class DAGScheduler:
         for stage in order:
             if stage.is_shuffle_map:
                 assert stage.shuffle_dep is not None
-                if stage.shuffle_dep.shuffle_id in self._completed_shuffles:
+                missing = self._missing_map_partitions(stage)
+                if not missing and stage.shuffle_dep.shuffle_id in self._completed_shuffles:
                     continue  # output still available from a previous job
-                metrics = self._run_shuffle_map_stage(stage)
-                self._completed_shuffles.add(stage.shuffle_dep.shuffle_id)
+                self._run_shuffle_map_stage(stage, job, missing or None)
             else:
-                metrics, results = self._run_result_stage(stage, func, partitions)
-            job.stages.append(metrics)
+                metrics, results = self._run_result_stage(stage, func, partitions, job)
+                job.stages.append(metrics)
         self.job_history.append(job)
         return results, job
 
-    def _run_with_retries(self, stage: Stage, partition: int,
-                          body: Callable[[], TaskMetrics]) -> TaskMetrics:
+    # -- fault recovery ----------------------------------------------------
+    def _recover_shuffle(self, shuffle_id: int, job: JobMetrics) -> None:
+        """Fetch failure: invalidate the parent shuffle, re-run its stage."""
+        self._completed_shuffles.discard(shuffle_id)
+        self.runtime.shuffle.invalidate_shuffle(shuffle_id)
+        self._map_outputs.pop(shuffle_id, None)
+        parent = self._shuffle_stages.get(shuffle_id)
+        if parent is not None:
+            self._run_shuffle_map_stage(parent, job, None)
+
+    def _handle_executor_loss(self, executor_id: str, stage: Stage, job: JobMetrics) -> None:
+        """Executor loss: drop its map outputs, regenerate what's needed now."""
+        self.runtime.executors.lose(executor_id)
+        for sid, outputs in self._map_outputs.items():
+            lost = [p for p, ex in outputs.items() if ex == executor_id]
+            for p in lost:
+                del outputs[p]
+                self.runtime.shuffle.invalidate_map_output(sid, p)
+            if lost:
+                self._completed_shuffles.discard(sid)
+        # Affected shuffles regenerate lazily: every task attempt re-checks
+        # its parent map outputs before running (see _execute_task).
+
+    # -- task execution -----------------------------------------------------
+    def _execute_task(
+        self,
+        stage: Stage,
+        partition: int,
+        body: Callable[[], TaskMetrics],
+        sm: StageMetrics,
+        job: JobMetrics,
+        shuffle_reads: tuple[int, ...],
+    ) -> TaskMetrics:
         attempt = 0
+        recoveries = 0
+        task_key = (stage.stage_id, partition)
         while True:
             attempt += 1
+            # A recovery wave can itself be interrupted (e.g. an executor dies
+            # while re-running the parent map stage), leaving holes in a
+            # shuffle this task is about to fetch.  Re-check parent map
+            # outputs before every attempt, like a reducer consulting the
+            # MapOutputTracker; it is a no-op when the shuffle is whole.
+            if shuffle_reads:
+                self._ensure_parent_shuffles(stage.rdd, job)
+            executor_id = self.runtime.executors.pick(partition, attempt)
             for acc in self.runtime.accumulators:
                 acc._begin_attempt()
             try:
                 if self.runtime.failure_injector is not None:
                     self.runtime.failure_injector(stage.stage_id, partition, attempt)
+                if self.runtime.fault_injector is not None:
+                    self.runtime.fault_injector.on_task_start(
+                        stage.stage_id, partition, attempt, executor_id, shuffle_reads
+                    )
                 task = body()
                 task.attempts = attempt
+                task.executor_id = executor_id
                 for acc in self.runtime.accumulators:
-                    acc._commit_attempt()
+                    acc._commit_attempt(task_key)
                 return task
             except TaskFailure:
                 for acc in self.runtime.accumulators:
                     acc._abort_attempt()
+                sm.n_task_failures += 1
+                self.runtime.executors.record_failure(executor_id, self.blacklist_threshold)
                 if attempt > self.max_task_retries:
                     raise
+            except ExecutorLostFailure as exc:
+                for acc in self.runtime.accumulators:
+                    acc._abort_attempt()
+                sm.n_executor_lost += 1
+                self._handle_executor_loss(exc.executor_id, stage, job)
+                if attempt > self.max_task_retries:
+                    raise
+            except FetchFailedException as exc:
+                for acc in self.runtime.accumulators:
+                    acc._abort_attempt()
+                sm.n_fetch_failures += 1
+                recoveries += 1
+                if recoveries > self.max_stage_recoveries:
+                    raise
+                self._recover_shuffle(exc.shuffle_id, job)
 
-    def _run_shuffle_map_stage(self, stage: Stage) -> StageMetrics:
+    def _run_shuffle_map_stage(
+        self, stage: Stage, job: JobMetrics, partitions: list[int] | None = None
+    ) -> StageMetrics:
         dep = stage.shuffle_dep
         assert dep is not None
-        sm = StageMetrics(stage.stage_id, f"shuffle-map({stage.rdd.name})", is_shuffle_map=True)
+        # Inputs this stage reads must themselves be whole (recomputation
+        # recurses up the lineage, like Spark resubmitting ancestor stages).
+        self._ensure_parent_shuffles(stage.rdd, job)
+        attempt = self._stage_attempts.get(stage.stage_id, 0)
+        self._stage_attempts[stage.stage_id] = attempt + 1
+        sm = StageMetrics(
+            stage.stage_id,
+            f"shuffle-map({stage.rdd.name})",
+            is_shuffle_map=True,
+            attempt=attempt,
+        )
         part = dep.partitioner
+        todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
+        shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
 
-        for split in range(stage.rdd.num_partitions):
+        for split in todo:
             def body(split: int = split) -> TaskMetrics:
                 t0 = time.perf_counter()
                 records = list(stage.rdd.iterator(split, self.runtime))
@@ -210,6 +354,7 @@ class DAGScheduler:
                     written += self.runtime.shuffle.write(
                         dep.shuffle_id, reduce_idx, items,
                         nbytes=max(1, int(avg * bucket_weights[reduce_idx])),
+                        map_partition=split,
                     )
                 return TaskMetrics(
                     stage_id=stage.stage_id,
@@ -223,7 +368,13 @@ class DAGScheduler:
                     locality=stage.rdd.preferred_locations(split),
                 )
 
-            sm.tasks.append(self._run_with_retries(stage, split, body))
+            task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
+            sm.tasks.append(task)
+            self._map_outputs.setdefault(dep.shuffle_id, {})[split] = task.executor_id
+
+        if not self._missing_map_partitions(stage):
+            self._completed_shuffles.add(dep.shuffle_id)
+        job.stages.append(sm)
         return sm
 
     def _run_result_stage(
@@ -231,11 +382,14 @@ class DAGScheduler:
         stage: Stage,
         func: Callable[[Iterator[Any]], Any],
         partitions: list[int] | None,
+        job: JobMetrics,
     ) -> tuple[StageMetrics, list[Any]]:
-        sm = StageMetrics(stage.stage_id, f"result({stage.rdd.name})")
+        attempt = self._stage_attempts.get(stage.stage_id, 0)
+        self._stage_attempts[stage.stage_id] = attempt + 1
+        sm = StageMetrics(stage.stage_id, f"result({stage.rdd.name})", attempt=attempt)
         results: list[Any] = []
         todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
-        shuffle_reads = _shuffle_reads_of(stage.rdd)
+        shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
 
         for split in todo:
             def body(split: int = split) -> TaskMetrics:
@@ -259,7 +413,7 @@ class DAGScheduler:
                 task._result = out  # type: ignore[attr-defined]
                 return task
 
-            task = self._run_with_retries(stage, split, body)
+            task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
             results.append(task._result)  # type: ignore[attr-defined]
             sm.tasks.append(task)
         return sm, results

@@ -49,6 +49,13 @@ class Accumulator(Generic[T]):
     committed by the scheduler only if that attempt succeeds — retried
     tasks therefore count exactly once, matching Spark's guarantee for
     accumulators used inside actions.
+
+    Commits are additionally keyed by the logical task ``(stage id,
+    partition)``: when lineage recovery re-runs an already-successful map
+    task (its executor died, or a fetch failure invalidated its shuffle),
+    the recomputed attempt's adds are discarded.  This extends exactly-once
+    semantics to recomputation waves, which the chaos suite relies on —
+    without it a faulted run would over-count relative to a fault-free run.
     """
 
     def __init__(self, acc_id: int, zero: T, op: Callable[[T, T], T]) -> None:
@@ -60,6 +67,8 @@ class Accumulator(Generic[T]):
         #: at most one attempt is in flight).
         self._pending: list[T] = []
         self._in_task = False
+        #: Logical tasks whose adds have already been committed.
+        self._committed: set[tuple[int, int]] = set()
 
     # -- task side ----------------------------------------------------------
     def add(self, amount: T) -> None:
@@ -78,7 +87,14 @@ class Accumulator(Generic[T]):
         self._pending.clear()
         self._in_task = True
 
-    def _commit_attempt(self) -> None:
+    def _commit_attempt(self, task_key: tuple[int, int] | None = None) -> None:
+        if task_key is not None:
+            if task_key in self._committed:
+                # Recomputed task: its adds were already counted.
+                self._pending.clear()
+                self._in_task = False
+                return
+            self._committed.add(task_key)
         for amount in self._pending:
             self._value = self._op(self._value, amount)
         self._pending.clear()
@@ -96,6 +112,7 @@ class Accumulator(Generic[T]):
     def reset(self) -> None:
         self._value = self._zero
         self._pending.clear()
+        self._committed.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Accumulator id={self._id} value={self._value!r}>"

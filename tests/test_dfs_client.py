@@ -141,3 +141,66 @@ class TestConstruction:
     def test_rejects_bad_replication(self):
         with pytest.raises(ValueError, match="replication"):
             DFSClient([DataNode("a")], replication=0)
+
+
+class TestHeartbeats:
+    def test_first_tick_registers_all_live_nodes(self):
+        dfs = make_client()
+        report = dfs.heartbeat_tick(0.0)
+        assert report.registered == ("n0", "n1", "n2", "n3")
+        assert report.declared_dead == ()
+        assert dfs.namenode.last_heartbeat("n0") == 0.0
+
+    def test_silent_node_declared_dead_after_timeout(self):
+        dfs = make_client(block_size=8)
+        dfs.put("/f", b"heartbeat payload")
+        dfs.heartbeat_tick(0.0, timeout=30.0)
+        dfs._nodes["n1"].kill()
+        # Within the timeout the node is still trusted.
+        mid = dfs.heartbeat_tick(20.0, timeout=30.0)
+        assert mid.declared_dead == ()
+        late = dfs.heartbeat_tick(40.0, timeout=30.0)
+        assert late.declared_dead == ("n1",)
+        assert dfs.namenode.blocks_on("n1") == []
+        assert dfs.namenode.under_replicated(2) == []
+        assert dfs.get("/f") == b"heartbeat payload"
+
+    def test_rereplication_count_reported(self):
+        dfs = make_client(block_size=8)
+        dfs.put("/f", b"0123456789abcdef")  # 2 blocks x 2 replicas
+        dfs.heartbeat_tick(0.0, timeout=10.0)
+        lost = len(dfs.namenode.blocks_on("n0"))
+        dfs._nodes["n0"].kill()
+        report = dfs.heartbeat_tick(11.0, timeout=10.0)
+        assert report.replicas_restored == lost
+        # Every block is back at factor 2 on surviving nodes only.
+        for _bid, nodes in dfs.block_locations("/f"):
+            assert len(nodes) == 2
+            assert "n0" not in nodes
+
+    def test_revived_node_reregisters_blocks(self):
+        dfs = make_client(block_size=8)
+        dfs.put("/f", b"revive me please")
+        dfs.heartbeat_tick(0.0, timeout=10.0)
+        victim = next(iter(dfs.namenode.replicas_of(dfs.namenode.get_file("/f").block_ids[0])))
+        dfs._nodes[victim].kill()
+        dfs.heartbeat_tick(11.0, timeout=10.0)
+        # The node comes back with its blocks intact: its block report
+        # re-registers replicas of still-known blocks.
+        dfs._nodes[victim].revive()
+        report = dfs.heartbeat_tick(12.0, timeout=10.0)
+        assert victim in report.registered
+        assert dfs.namenode.blocks_on(victim) != []
+
+    def test_orphan_blocks_invalidated_on_reregistration(self):
+        dfs = make_client(block_size=8)
+        dfs.put("/f", b"soon deleted")
+        dfs.heartbeat_tick(0.0, timeout=10.0)
+        holder = next(iter(dfs.namenode.replicas_of(dfs.namenode.get_file("/f").block_ids[0])))
+        dfs._nodes[holder].kill()
+        dfs.heartbeat_tick(11.0, timeout=10.0)  # holder forgotten
+        dfs.delete("/f")
+        dfs._nodes[holder].revive()
+        dfs.heartbeat_tick(12.0, timeout=10.0)
+        # The revived node's copies of the deleted file were invalidated.
+        assert list(dfs._nodes[holder].block_ids()) == []

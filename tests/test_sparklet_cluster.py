@@ -88,3 +88,59 @@ class TestClusterConfig:
     def test_executor_memory_respects_fraction(self):
         cfg = ClusterConfig(memory_fraction=0.5)
         assert cfg.executor_memory_bytes == 2560 * 1024 * 1024 * 0.5
+
+
+class TestReleaseAndDecommission:
+    def test_release_restores_node_capacity(self):
+        rm = paper_testbed()
+        (container,) = rm.request_executors(1, ExecutorSpec())
+        before = rm.max_executors(ExecutorSpec())
+        rm.release(container)
+        assert rm.max_executors(ExecutorSpec()) == before + 1
+        assert rm.granted == []
+
+    def test_double_release_is_an_error(self):
+        rm = paper_testbed()
+        (container,) = rm.request_executors(1, ExecutorSpec())
+        rm.release(container)
+        with pytest.raises(KeyError, match="double release"):
+            rm.release(container)
+        # The failed release must not have corrupted node accounting.
+        assert rm.max_executors(ExecutorSpec()) == 22
+
+    def test_release_unknown_container_is_an_error(self):
+        from repro.sparklet.cluster import Container
+
+        rm = paper_testbed()
+        with pytest.raises(KeyError):
+            rm.release(Container(999, "i5-0", ExecutorSpec()))
+
+    def test_granted_keyed_by_container_id(self):
+        rm = paper_testbed()
+        grants = rm.request_executors(5, ExecutorSpec())
+        rm.release(grants[2])
+        remaining = [c.container_id for c in rm.granted]
+        assert remaining == [g.container_id for g in grants if g is not grants[2]]
+
+    def test_decommission_releases_node_containers(self):
+        rm = paper_testbed()
+        grants = rm.request_executors(15, ExecutorSpec())
+        node_id = grants[0].node_id
+        evicted = rm.decommission_node(node_id)
+        assert all(c.node_id == node_id for c in evicted)
+        assert all(c.node_id != node_id for c in rm.granted)
+        node = rm.nodes[node_id]
+        assert node.used_vcores == 0 and node.used_memory_mb == 0
+
+    def test_decommissioned_node_gets_no_new_containers(self):
+        rm = paper_testbed()
+        rm.decommission_node("i5-0")
+        grants = rm.request_executors(30, ExecutorSpec())
+        assert all(c.node_id != "i5-0" for c in grants)
+        # The testbed loses i5-0's 2 executor slots: 22 - 2 = 20.
+        assert len(grants) == 20
+
+    def test_decommission_unknown_node_is_an_error(self):
+        rm = paper_testbed()
+        with pytest.raises(KeyError, match="no such node"):
+            rm.decommission_node("ghost")

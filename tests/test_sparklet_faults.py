@@ -1,0 +1,185 @@
+"""Unit tests for the fault-model primitives and their scheduler hookup."""
+
+import pytest
+
+from repro.sparklet import (
+    EXECUTOR_LOSS,
+    FETCH_FAILURE,
+    TASK_CRASH,
+    ExecutorLostFailure,
+    FailureRule,
+    FaultConfig,
+    FaultInjector,
+    FetchFailedException,
+    SparkletContext,
+    TaskFailure,
+)
+from repro.sparklet.faults import ExecutorPool
+
+
+class TestFailureRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            FailureRule("meteor_strike", 0.1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FailureRule(TASK_CRASH, 1.5)
+
+    def test_rejects_negative_max_fires(self):
+        with pytest.raises(ValueError, match="max_fires"):
+            FailureRule(TASK_CRASH, 0.1, max_fires=-1)
+
+
+class TestFaultInjector:
+    def _drive(self, injector, n=200, shuffle_reads=(1,)):
+        """Feed attempts through; collect which kinds were raised."""
+        raised = []
+        for i in range(n):
+            try:
+                injector.on_task_start(0, i, 1, "exec-0", shuffle_reads)
+            except TaskFailure:
+                raised.append(TASK_CRASH)
+            except ExecutorLostFailure:
+                raised.append(EXECUTOR_LOSS)
+            except FetchFailedException:
+                raised.append(FETCH_FAILURE)
+        return raised
+
+    def test_same_seed_same_fault_sequence(self):
+        cfg = FaultConfig.chaos(seed=11, rate=0.2)
+        a = FaultInjector(cfg)
+        b = FaultInjector(cfg)
+        assert self._drive(a) == self._drive(b)
+        assert [e.__dict__ for e in a.events] == [e.__dict__ for e in b.events]
+
+    def test_different_seed_differs(self):
+        a = FaultInjector(FaultConfig.chaos(seed=1, rate=0.2))
+        b = FaultInjector(FaultConfig.chaos(seed=2, rate=0.2))
+        assert self._drive(a) != self._drive(b)
+
+    def test_max_fires_bounds_each_rule(self):
+        cfg = FaultConfig(
+            seed=0, rules=(FailureRule(TASK_CRASH, probability=1.0, max_fires=4),)
+        )
+        inj = FaultInjector(cfg)
+        assert self._drive(inj).count(TASK_CRASH) == 4
+        assert inj.fired_by_kind()[TASK_CRASH] == 4
+
+    def test_fetch_failure_skipped_without_shuffle_reads(self):
+        cfg = FaultConfig(
+            seed=0, rules=(FailureRule(FETCH_FAILURE, probability=1.0, max_fires=99),)
+        )
+        inj = FaultInjector(cfg)
+        assert self._drive(inj, shuffle_reads=()) == []
+        assert inj.total_fired == 0
+
+    def test_fetch_failure_names_a_read_shuffle(self):
+        cfg = FaultConfig(
+            seed=0, rules=(FailureRule(FETCH_FAILURE, probability=1.0),)
+        )
+        inj = FaultInjector(cfg)
+        with pytest.raises(FetchFailedException) as err:
+            inj.on_task_start(0, 0, 1, "exec-0", (7, 3))
+        assert err.value.shuffle_id == 3
+
+
+class TestExecutorPool:
+    def test_placement_is_deterministic(self):
+        a = ExecutorPool(4)
+        b = ExecutorPool(4)
+        picks_a = [a.pick(p, att) for p in range(8) for att in (1, 2, 3)]
+        picks_b = [b.pick(p, att) for p in range(8) for att in (1, 2, 3)]
+        assert picks_a == picks_b
+
+    def test_retry_rotates_to_a_different_executor(self):
+        pool = ExecutorPool(4)
+        assert pool.pick(0, 1) != pool.pick(0, 2)
+
+    def test_blacklist_after_threshold(self):
+        pool = ExecutorPool(3)
+        assert not pool.record_failure("exec-0", threshold=2)
+        assert pool.record_failure("exec-0", threshold=2)
+        assert "exec-0" not in pool.healthy_ids()
+        assert pool.n_blacklisted == 1
+
+    def test_never_blacklists_last_healthy_executor(self):
+        pool = ExecutorPool(1)
+        for _ in range(10):
+            assert not pool.record_failure("exec-0", threshold=1)
+        assert pool.healthy_ids() == ["exec-0"]
+
+    def test_loss_provisions_replacement(self):
+        pool = ExecutorPool(2)
+        replacement = pool.lose("exec-0")
+        assert replacement == "exec-2"
+        assert "exec-0" not in pool.healthy_ids()
+        assert replacement in pool.healthy_ids()
+        assert pool.n_lost == 1
+
+
+class TestSchedulerIntegration:
+    def test_executor_loss_reruns_lost_map_outputs(self):
+        ctx = SparkletContext(default_parallelism=4, max_task_retries=6)
+        # Lose an executor via the rule-driven injector: the map outputs it
+        # held must be recomputed before the victim task retries.
+        fc = FaultConfig(
+            seed=2, rules=(FailureRule(EXECUTOR_LOSS, probability=0.3, max_fires=1),)
+        )
+        ctx.install_faults(fc)
+        got = (
+            ctx.parallelize([(i % 4, 1) for i in range(40)], 6)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert sorted(got) == [(0, 10), (1, 10), (2, 10), (3, 10)]
+        assert ctx.runtime.fault_injector.fired_by_kind()[EXECUTOR_LOSS] == 1
+        assert ctx.runtime.executors.n_lost == 1
+
+    def test_fetch_failure_reruns_parent_stage(self):
+        fc = FaultConfig(
+            seed=1, rules=(FailureRule(FETCH_FAILURE, probability=0.5, max_fires=1),)
+        )
+        ctx = SparkletContext(default_parallelism=4, max_task_retries=6, fault_config=fc)
+        got = (
+            ctx.parallelize([(i % 3, 1) for i in range(30)], 5)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert sorted(got) == [(0, 10), (1, 10), (2, 10)]
+        metrics = ctx.all_job_metrics()
+        assert metrics.n_fetch_failures == 1
+        # The parent map stage ran again as a recomputation wave.
+        assert metrics.n_recomputed_stages >= 1
+
+    def test_failure_metrics_counted_per_kind(self):
+        fc = FaultConfig(
+            seed=4,
+            rules=(
+                FailureRule(TASK_CRASH, probability=0.4, max_fires=2),
+                FailureRule(EXECUTOR_LOSS, probability=0.2, max_fires=1),
+            ),
+        )
+        ctx = SparkletContext(default_parallelism=4, max_task_retries=8, fault_config=fc)
+        ctx.parallelize(range(50), 8).map(lambda x: (x % 5, x)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        metrics = ctx.all_job_metrics()
+        by_kind = ctx.runtime.fault_injector.fired_by_kind()
+        assert metrics.n_task_failures == by_kind[TASK_CRASH]
+        assert metrics.n_executor_lost == by_kind[EXECUTOR_LOSS]
+        assert metrics.total_failures == ctx.runtime.fault_injector.total_fired
+
+    def test_blacklisted_executor_not_picked_again(self):
+        fc = FaultConfig(
+            seed=0,
+            rules=(FailureRule(TASK_CRASH, probability=1.0, max_fires=2),),
+            max_failures_per_executor=1,
+        )
+        ctx = SparkletContext(default_parallelism=2, max_task_retries=8, fault_config=fc)
+        ctx.parallelize(range(8), 4).collect()
+        pool = ctx.runtime.executors
+        assert pool.n_blacklisted >= 1
+        blacklisted = {e.executor_id for e in pool.executors if e.blacklisted}
+        tasks = ctx.last_job_metrics().stages[-1].tasks
+        assert all(t.executor_id not in blacklisted for t in tasks)

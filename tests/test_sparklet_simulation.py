@@ -103,3 +103,104 @@ class TestSimulateJob:
         fast = simulate_job(job, dataclasses.replace(ClusterConfig(), cpu_speed_factor=0.5))
         slow = simulate_job(job, dataclasses.replace(ClusterConfig(), cpu_speed_factor=2.0))
         assert slow.elapsed_s > fast.elapsed_s
+
+
+class TestEmptyStages:
+    def test_empty_job_has_zero_elapsed(self):
+        # Regression: zero-task stages used to be charged scheduler_delay_s,
+        # so an empty job reported nonzero simulated elapsed time.
+        job = JobMetrics(job_id=0)
+        job.stages.append(StageMetrics(0, "empty"))
+        run = simulate_job(job, ClusterConfig())
+        assert run.elapsed_s == 0.0
+
+    def test_empty_stage_free_alongside_real_stages(self):
+        job = make_job([0.1] * 4)
+        job.stages.append(StageMetrics(1, "empty"))
+        with_empty = simulate_job(job, ClusterConfig()).elapsed_s
+        only_real = simulate_job(make_job([0.1] * 4), ClusterConfig()).elapsed_s
+        assert with_empty == pytest.approx(only_real)
+
+
+class TestFaultProfileSimulation:
+    def _chain_job(self):
+        """A map stage feeding a reduce stage, as D-RAPID's DAG does."""
+        job = JobMetrics(job_id=0)
+        m = StageMetrics(0, "map", is_shuffle_map=True)
+        for i in range(16):
+            m.tasks.append(TaskMetrics(stage_id=0, partition=i, duration_s=0.2,
+                                       bytes_in=1000, shuffle_write_bytes=5000))
+        r = StageMetrics(1, "reduce")
+        for i in range(8):
+            r.tasks.append(TaskMetrics(stage_id=1, partition=i, duration_s=0.1,
+                                       bytes_in=1000, shuffle_read_bytes=5000))
+        job.stages.extend([m, r])
+        return job
+
+    def test_zero_fault_profile_matches_legacy_path(self):
+        from repro.sparklet.simulation import SimFaultProfile
+
+        job = self._chain_job()
+        cfg = ClusterConfig(num_executors=3)
+        legacy = simulate_job(job, cfg)
+        event = simulate_job(job, cfg, faults=SimFaultProfile())
+        assert event.elapsed_s == pytest.approx(legacy.elapsed_s)
+        assert event.n_failures == 0 and event.n_requeued == 0
+
+    def test_failures_inflate_makespan_monotonically(self):
+        from repro.sparklet.simulation import SimFaultProfile
+
+        job = self._chain_job()
+        cfg = ClusterConfig(num_executors=4)
+        base = simulate_job(job, cfg, faults=SimFaultProfile()).elapsed_s
+        prev = base
+        for n_failures in (1, 2, 3):
+            trace = tuple((0.05 * (k + 1), k) for k in range(n_failures))
+            run = simulate_job(job, cfg, faults=SimFaultProfile(executor_failures=trace))
+            assert run.n_failures == n_failures
+            assert run.n_requeued > 0
+            assert run.elapsed_s >= prev
+            prev = run.elapsed_s
+        assert prev > base
+
+    def test_reduce_stage_death_charges_parent_recompute(self):
+        from repro.sparklet.simulation import SimFaultProfile
+
+        job = self._chain_job()
+        cfg = ClusterConfig(num_executors=4)
+        map_span = simulate_job(job, cfg, faults=SimFaultProfile()).stages[0].makespan_s
+        # Kill an executor just after the reduce stage starts.
+        trace = ((map_span + 0.01, 0),)
+        run = simulate_job(job, cfg, faults=SimFaultProfile(executor_failures=trace))
+        assert run.stages[1].recompute_task_s > 0.0
+
+    def test_losing_every_executor_raises(self):
+        from repro.sparklet.simulation import SimFaultProfile
+
+        job = self._chain_job()
+        cfg = ClusterConfig(num_executors=2)
+        trace = ((0.01, 0), (0.02, 1))
+        with pytest.raises(RuntimeError, match="lost all executors"):
+            simulate_job(job, cfg, faults=SimFaultProfile(executor_failures=trace))
+
+    def test_speculation_beats_stragglers(self):
+        from repro.sparklet.simulation import (SimFaultProfile, SpeculationConfig,
+                                               StragglerModel)
+
+        job = self._chain_job()
+        cfg = ClusterConfig(num_executors=4)
+        stragglers = StragglerModel(prob=0.2, factor=6.0, seed=7)
+        off = simulate_job(job, cfg, faults=SimFaultProfile(stragglers=stragglers))
+        on = simulate_job(job, cfg, faults=SimFaultProfile(
+            stragglers=stragglers, speculation=SpeculationConfig(enabled=True)))
+        assert on.n_speculative > 0
+        assert on.elapsed_s < off.elapsed_s
+
+    def test_failure_trace_classmethod_is_seeded(self):
+        from repro.sparklet.simulation import SimFaultProfile
+
+        a = SimFaultProfile.failure_trace(0.5, 10.0, 4, seed=3)
+        b = SimFaultProfile.failure_trace(0.5, 10.0, 4, seed=3)
+        c = SimFaultProfile.failure_trace(0.5, 10.0, 4, seed=4)
+        assert a.executor_failures == b.executor_failures
+        assert a.executor_failures != c.executor_failures
