@@ -17,7 +17,6 @@ from _bench_utils import emit, format_table
 from repro.astro import GBT350DRIFT, generate_observation
 from repro.astro.population import b1853_like
 from repro.core.bins import DPG_FIXED_BIN_SIZE
-from repro.core.rapid import run_rapid_observation
 from repro.core.search import SearchParams, find_single_pulses
 from repro.sparklet import HashPartitioner, SparkletContext
 

@@ -14,7 +14,6 @@ SMOTE} × 5 folds) and reports:
 """
 
 import numpy as np
-import pytest
 
 from _bench_utils import boxplot_stats, emit, format_table
 

@@ -24,7 +24,8 @@ from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.survey import SurveyConfig, generate_observation
 from repro.core.alm import ALM_SCHEMES, AlmScheme, label_instances
 from repro.core.features import FEATURE_NAMES
-from repro.core.rapid import SinglePulse, run_rapid_observation
+from repro.core.rapid import SinglePulse, run_rapid_observation_batch
+from repro.dataplane import PulseBatch
 from repro.ml.dataset import Dataset
 
 
@@ -38,6 +39,9 @@ class Benchmark:
     is_rrat: np.ndarray  # bool
     source_names: list[str | None]
     pulses: list[SinglePulse]
+    #: Columnar source of the arrays above, when built by the data plane
+    #: (None for benchmarks loaded from legacy persistence files).
+    pulse_batch: PulseBatch | None = None
 
     @property
     def n_instances(self) -> int:
@@ -96,6 +100,9 @@ class Benchmark:
             is_rrat=self.is_rrat[keep],
             source_names=[self.source_names[i] for i in keep],
             pulses=[self.pulses[i] for i in keep],
+            pulse_batch=(
+                self.pulse_batch.take(keep) if self.pulse_batch is not None else None
+            ),
         )
 
 
@@ -121,11 +128,7 @@ def build_benchmark(
         n_pulsars, rrat_fraction=rrat_fraction, max_dm=survey.max_dm * 0.6, seed=seed + 1
     )
 
-    features: list[np.ndarray] = []
-    is_pulsar: list[bool] = []
-    is_rrat: list[bool] = []
-    names: list[str | None] = []
-    pulses_all: list[SinglePulse] = []
+    chunks: list[PulseBatch] = []
     n_pos = n_neg = 0
 
     for obs_i in range(max_observations):
@@ -148,36 +151,35 @@ def build_benchmark(
             seed=seed + 101 * obs_i,
             obs_length_s=min(survey.obs_length_s, 90.0),
         )
-        result = run_rapid_observation(obs)
-        for pulse in result.pulses:
-            positive = pulse.source_name is not None
-            if positive and n_pos >= target_positive:
-                continue
-            if not positive and n_neg >= target_negative:
-                continue
-            features.append(pulse.features.to_vector())
-            is_pulsar.append(positive)
-            is_rrat.append(pulse.is_rrat)
-            names.append(pulse.source_name)
-            pulses_all.append(pulse)
-            if positive:
-                n_pos += 1
-            else:
-                n_neg += 1
+        result = run_rapid_observation_batch(obs)
+        pb = result.pulse_batch
+        # Cap each class in pulse order, then restore the original row
+        # order — identical to the retired per-pulse accumulation loop.
+        positive = pb.is_pulsar
+        pos_idx = np.nonzero(positive)[0][: max(target_positive - n_pos, 0)]
+        neg_idx = np.nonzero(~positive)[0][: max(target_negative - n_neg, 0)]
+        keep = np.sort(np.concatenate([pos_idx, neg_idx]))
+        if keep.size:
+            chunks.append(pb.take(keep))
+        n_pos += pos_idx.size
+        n_neg += neg_idx.size
     else:
         raise RuntimeError(
             f"benchmark generation exhausted {max_observations} observations "
             f"with {n_pos}/{target_positive} positives, {n_neg}/{target_negative} negatives"
         )
 
-    order = np.argsort(rng.random(len(features)))
+    collected = PulseBatch.concat(chunks)
+    order = np.argsort(rng.random(len(collected)))
+    batch = collected.take(order)
     return Benchmark(
         survey_name=survey.name,
-        features=np.vstack(features)[order],
-        is_pulsar=np.array(is_pulsar)[order],
-        is_rrat=np.array(is_rrat)[order],
-        source_names=[names[i] for i in order],
-        pulses=[pulses_all[i] for i in order],
+        features=batch.features,
+        is_pulsar=batch.is_pulsar,
+        is_rrat=np.asarray(batch.is_rrat),
+        source_names=batch.source_name.tolist(),
+        pulses=batch.to_records(),
+        pulse_batch=batch,
     )
 
 

@@ -24,8 +24,12 @@ for equivalence tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane import SPEBatch
 
 NOISE = -1
 
@@ -166,6 +170,16 @@ class SinglePulseDBSCAN:
         labels = self._merge_artifact_clusters(labels, times, dms)
         clusters = self._summarize(labels, times, dms, snrs)
         return labels, clusters
+
+    def fit_batch(
+        self, batch: "SPEBatch", dm_steps: np.ndarray
+    ) -> tuple[np.ndarray, list[Cluster]]:
+        """Columnar entry point: cluster an :class:`SPEBatch` directly.
+
+        The batch's columns feed :meth:`fit` with no per-record
+        materialization.
+        """
+        return self.fit(batch.time_s, batch.dm, batch.snr, dm_steps)
 
     # -- DBSCAN core ---------------------------------------------------------
     def _expand(self, neighbours, n: int) -> np.ndarray:

@@ -10,9 +10,12 @@ becomes the Sparklet pair key (Section 5.1.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane import SPEBatch
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,16 @@ class SPEBlock:
     def subset(self, indices: Iterable[int]) -> "SPEBlock":
         return SPEBlock(self.key, [self.spes[i] for i in indices])
 
+    def to_batch(self) -> "SPEBatch":
+        """Columnar view of the block (the data-plane representation)."""
+        from repro.dataplane import SPEBatch
+
+        return SPEBatch.from_records(self.spes)
+
+    @classmethod
+    def from_batch(cls, key: ObservationKey, batch: "SPEBatch") -> "SPEBlock":
+        return cls(key, batch.to_records())
+
 
 SPE_FILE_HEADER = "# dataset|mjd|sky|beam,DM,Sigma,Time_s,Sample,Downfact"
 CLUSTER_FILE_HEADER = (
@@ -104,7 +117,11 @@ CLUSTER_FILE_HEADER = (
 
 
 def spes_to_csv(key: ObservationKey, spes: Iterable[SPE], include_header: bool = False) -> str:
-    """Render SPE rows in the D-RAPID data-file format (key prefix + data)."""
+    """Render SPE rows in the D-RAPID data-file format (key prefix + data).
+
+    Record-oriented path, retained as the reference the vectorized
+    ``SPEBatch.to_data_csv`` is equivalence-gated against.
+    """
     lines = [SPE_FILE_HEADER] if include_header else []
     prefix = key.to_key()
     lines.extend(f"{prefix},{spe.to_csv_row()}" for spe in spes)

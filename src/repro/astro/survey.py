@@ -24,6 +24,7 @@ from repro.astro.population import Pulsar
 from repro.astro.pulses import PulseTruth, generate_pulsar_spes
 from repro.astro.rfi import generate_noise_spes, generate_pulse_mimic_spes, generate_rfi_spes
 from repro.astro.spe import SPE, ObservationKey, SPEBlock
+from repro.dataplane import SPEBatch
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,16 @@ class Observation:
     pulse_truths: list[PulseTruth] = field(default_factory=list)
     #: cluster_id -> (pulsar_name | None, is_rrat).  None = noise/RFI cluster.
     cluster_truth: dict[int, tuple[str | None, bool]] = field(default_factory=dict)
+    #: Columnar view of ``spes``; built once by the generator (or lazily)
+    #: and read by everything downstream.  Excluded from equality/repr.
+    _spe_batch: SPEBatch | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def spe_batch(self) -> SPEBatch:
+        """The observation's SPEs as columns (the data-plane view)."""
+        if self._spe_batch is None:
+            self._spe_batch = SPEBatch.from_records(self.spes)
+        return self._spe_batch
 
     @property
     def block(self) -> SPEBlock:
@@ -169,13 +180,12 @@ def generate_observation(
     if not spes:
         return Observation(key, config, grid, [], np.empty(0, dtype=int), [], truths, {})
 
-    times = np.array([s.time_s for s in spes])
-    dms = np.array([s.dm for s in spes])
-    snrs = np.array([s.snr for s in spes])
+    batch = SPEBatch.from_records(spes)
+    times, dms, snrs = batch.time_s, batch.dm, batch.snr
     steps = dms / grid.spacing_of(dms)
 
     clusterer = default_clusterer(grid)
-    labels, clusters = clusterer.fit(times, dms, snrs, steps)
+    labels, clusters = clusterer.fit_batch(batch, steps)
 
     cluster_truth: dict[int, tuple[str | None, bool]] = {}
     for cluster in clusters:
@@ -187,4 +197,5 @@ def generate_observation(
         pulsar_frac = sum(v for (name, _r), v in votes.items() if name) / cluster.size
         cluster_truth[cluster.cluster_id] = winner if pulsar_frac >= 0.5 else (None, False)
 
-    return Observation(key, config, grid, spes, labels, clusters, truths, cluster_truth)
+    return Observation(key, config, grid, spes, labels, clusters, truths,
+                       cluster_truth, _spe_batch=batch)

@@ -16,18 +16,28 @@ Stages, exactly as published:
 Because both sides share the partitioner, the join is shuffle-free — the
 cogroup dependencies are narrow.  That is D-RAPID's central optimization,
 and a unit test asserts no extra shuffle stage is created.
+
+Since the columnar refactor, each map partition parses its rows into
+per-key :class:`SPEBatch` / :class:`ClusterBatch` chunks, so shuffle
+payloads are a few large column buffers instead of one tuple per SPE row
+(and the simulator's ``estimate_bytes`` measures them via ``.nbytes``).
+The per-record dataflow is retained as :meth:`DRapidDriver.run_reference`
+and the equivalence suite asserts both produce byte-identical ML files.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.astro.dispersion import DMGrid
-from repro.core.rapid import SinglePulse, run_rapid_on_cluster
+from repro.core.rapid import (
+    SinglePulse,
+    run_rapid_on_cluster,
+    run_rapid_on_cluster_batch,
+)
 from repro.core.search import SearchParams
+from repro.dataplane import ClusterBatch, PulseBatch, SPEBatch
 from repro.io.spe_files import ClusterRecord, parse_cluster_line
 from repro.sparklet.context import SparkletContext
 from repro.sparklet.metrics import JobMetrics
@@ -43,9 +53,9 @@ PARTITIONS_PER_CORE = 32
 
 @dataclass
 class DRapidResult:
-    """Output of one D-RAPID run."""
+    """Output of one D-RAPID run (columnar; records materialize on demand)."""
 
-    pulses: list[SinglePulse]
+    pulse_batch: PulseBatch
     ml_output_path: str
     metrics: JobMetrics
     n_clusters: int = 0
@@ -55,19 +65,92 @@ class DRapidResult:
 
     @property
     def n_pulses(self) -> int:
-        return len(self.pulses)
+        return len(self.pulse_batch)
+
+    @property
+    def pulses(self) -> list[SinglePulse]:
+        """Record-view adapter over :attr:`pulse_batch`."""
+        return self.pulse_batch.to_records()
 
 
-def _search_observation(
+def _group_rows_by_key(lines: Iterable[str]) -> dict[str, list[str]]:
+    """Group ``key,rest`` rows by key, keys in first-seen order."""
+    by_key: dict[str, list[str]] = {}
+    for line in lines:
+        key, _, rest = line.partition(",")
+        by_key.setdefault(key, []).append(rest)
+    return by_key
+
+
+def _parse_data_partition(lines: Iterator[str]) -> Iterator[tuple[str, SPEBatch]]:
+    """One map partition of the data file → per-key SPE batches.
+
+    Grouping before parsing keeps key first-occurrence order and per-key
+    row order identical to the per-row reference dataflow, so downstream
+    aggregation sees the same sequences.
+    """
+    for key, rows in _group_rows_by_key(lines).items():
+        yield key, SPEBatch.from_data_rows(rows)
+
+
+def _search_observation_batch(
+    key: str,
+    cluster_batches: list[ClusterBatch],
+    spe_batches: list[SPEBatch] | None,
+    grids: dict[str, DMGrid],
+    params: SearchParams,
+) -> PulseBatch:
+    """The Search phase body: Algorithm 1 on each cluster's SPE subset."""
+    if spe_batches is None:
+        return PulseBatch.empty()  # null from the left outer join
+    spe = SPEBatch.concat(spe_batches)
+    clusters = ClusterBatch.concat(cluster_batches)
+    dataset = key.split("|", 1)[0]
+    grid = grids.get(dataset)
+    spacing_of = grid.spacing_at if grid is not None else (lambda _dm: 1.0)
+
+    dms, snrs, times = spe.dm, spe.snr, spe.time_s
+    chunks: list[PulseBatch] = []
+    for i in range(len(clusters)):
+        # "Search only in the areas of the data file that coincide with the
+        # clusters listed in the cluster file": the cluster's DM×time box.
+        mask = (
+            (dms >= clusters.dm_lo[i])
+            & (dms <= clusters.dm_hi[i])
+            & (times >= clusters.t_lo[i])
+            & (times <= clusters.t_hi[i])
+        )
+        if int(mask.sum()) < 2:
+            continue
+        pb = run_rapid_on_cluster_batch(
+            times[mask],
+            dms[mask],
+            snrs[mask],
+            cluster_rank=int(clusters.rank[i]),
+            dm_spacing_of=spacing_of,
+            observation_key=key,
+            cluster_id=int(clusters.cluster_id[i]),
+            params=params,
+            source_name=clusters.source[i],
+            is_rrat=bool(clusters.is_rrat[i]),
+        )
+        if len(pb):
+            chunks.append(pb)
+    return PulseBatch.concat(chunks)
+
+
+def _reference_search_observation(
     key: str,
     clusters: list[ClusterRecord],
     spe_rows: list[str] | None,
     grids: dict[str, DMGrid],
     params: SearchParams,
 ) -> list[SinglePulse]:
-    """The Search phase body: run Algorithm 1 on each cluster's SPE subset."""
+    """The record-oriented Search body, retained for the equivalence gate."""
     if spe_rows is None:
         return []  # null from the left outer join: SPE data missing
+    import numpy as np
+
     dataset = key.split("|", 1)[0]
     grid = grids.get(dataset)
     spacing_of = grid.spacing_at if grid is not None else (lambda _dm: 1.0)
@@ -95,8 +178,6 @@ def _search_observation(
 
     out: list[SinglePulse] = []
     for rec in clusters:
-        # "Search only in the areas of the data file that coincide with the
-        # clusters listed in the cluster file": the cluster's DM×time box.
         mask = (
             (dms >= rec.dm_lo)
             & (dms <= rec.dm_hi)
@@ -163,36 +244,56 @@ class DRapidDriver:
         cluster_path: str,
         ml_output_path: str = "/ml/out",
     ) -> DRapidResult:
+        """The columnar dataflow: batches flow between Sparklet stages."""
         self.ctx.reset_metrics()
         partitioner = HashPartitioner(self.num_partitions)
         grids = self.grids
         params = self.params
 
-        # Stage 1: the SPE data file → KVP (strip header, split key prefix).
+        # Stage 1: the SPE data file → per-key SPEBatch chunks.  Each map
+        # partition groups its rows by key and parses them into columns in
+        # one vectorized pass, so what shuffles is a handful of array
+        # payloads per partition, not one tuple per SPE.
         data_kvp = (
             self.ctx.text_file(self.dfs, data_path)
             .filter(lambda line: line and not line.startswith("#"))
-            .map(lambda line: tuple(line.split(",", 1)))
+            .map_partitions(_parse_data_partition)
         )
 
-        # Stage 2: the cluster file → KVP of parsed records.  Malformed rows
-        # are dropped and counted through an accumulator (retried task
-        # attempts count once).
+        # Stage 2: the cluster file → per-key ClusterBatch chunks.
+        # Malformed rows are dropped and counted through an accumulator
+        # (retried task attempts count once): the vectorized parse covers
+        # the clean case, and a per-row fallback isolates bad rows with the
+        # same keep/drop rule as the record path.
         dropped = self.ctx.accumulator(0)
 
-        def parse_or_none(line: str) -> ClusterRecord | None:
-            try:
-                return parse_cluster_line(line)
-            except ValueError:
-                dropped.add(1)
-                return None
+        def parse_cluster_partition(
+            lines: Iterator[str],
+        ) -> Iterator[tuple[str, ClusterBatch]]:
+            by_key: dict[str, list[str]] = {}
+            for line in lines:
+                by_key.setdefault(line.split(",", 1)[0], []).append(line)
+            for key, rows in by_key.items():
+                try:
+                    batch = ClusterBatch.from_lines(rows)
+                except ValueError:
+                    records = []
+                    n_bad = 0
+                    for row in rows:
+                        try:
+                            records.append(parse_cluster_line(row))
+                        except ValueError:
+                            n_bad += 1
+                    dropped.add(n_bad)
+                    if not records:
+                        continue
+                    batch = ClusterBatch.from_records(records)
+                yield key, batch
 
         cluster_kvp = (
             self.ctx.text_file(self.dfs, cluster_path)
             .filter(lambda line: line and not line.startswith("#"))
-            .map(parse_or_none)
-            .filter(lambda rec: rec is not None)
-            .map(lambda rec: (rec.key, rec))
+            .map_partitions(parse_cluster_partition)
         )
 
         # Stage 3: Partition → Aggregate → Left Outer Join → Search.
@@ -216,11 +317,11 @@ class DRapidDriver:
         searched = joined.map(
             lambda kv: (
                 kv[0],
-                _search_observation(kv[0], kv[1][0], kv[1][1], grids, params),
+                _search_observation_batch(kv[0], kv[1][0], kv[1][1], grids, params),
             )
         )
 
-        ml_rows = searched.flat_map(lambda kv: [p.to_ml_row() for p in kv[1]]).cache()
+        ml_rows = searched.flat_map(lambda kv: kv[1].to_ml_lines()).cache()
         ml_rows.save_as_text_file(self.dfs, ml_output_path)
 
         # Snapshot metrics and the dropped-row count now: the save above is
@@ -231,12 +332,98 @@ class DRapidDriver:
         metrics = self.ctx.all_job_metrics()
         n_dropped = int(dropped.value)
 
+        pulse_batch = PulseBatch.from_ml_lines(ml_rows.collect())
+        null_joins = joined.filter(lambda kv: kv[1][1] is None).count()
+        n_clusters = cluster_kvp.map(lambda kv: len(kv[1])).fold(0, lambda a, b: a + b)
+
+        return DRapidResult(
+            pulse_batch=pulse_batch,
+            ml_output_path=ml_output_path,
+            metrics=metrics,
+            n_clusters=n_clusters,
+            n_null_joins=null_joins,
+            n_dropped_cluster_rows=n_dropped,
+        )
+
+    def run_reference(
+        self,
+        data_path: str,
+        cluster_path: str,
+        ml_output_path: str = "/ml/out",
+    ) -> DRapidResult:
+        """The pre-refactor per-record dataflow, retained as the reference.
+
+        Ships one ``(key, row)`` tuple per SPE through the shuffle and one
+        ``ClusterRecord`` per cluster row.  The equivalence suite asserts
+        :meth:`run` writes byte-identical ML files; keep the two dataflows
+        in lockstep when touching either.
+        """
+        self.ctx.reset_metrics()
+        partitioner = HashPartitioner(self.num_partitions)
+        grids = self.grids
+        params = self.params
+
+        data_kvp = (
+            self.ctx.text_file(self.dfs, data_path)
+            .filter(lambda line: line and not line.startswith("#"))
+            .map(lambda line: tuple(line.split(",", 1)))
+        )
+
+        dropped = self.ctx.accumulator(0)
+
+        def parse_or_none(line: str) -> ClusterRecord | None:
+            try:
+                return parse_cluster_line(line)
+            except ValueError:
+                dropped.add(1)
+                return None
+
+        cluster_kvp = (
+            self.ctx.text_file(self.dfs, cluster_path)
+            .filter(lambda line: line and not line.startswith("#"))
+            .map(parse_or_none)
+            .filter(lambda rec: rec is not None)
+            .map(lambda rec: (rec.key, rec))
+        )
+
+        def append(acc: list, v) -> list:
+            acc.append(v)
+            return acc
+
+        def extend(a: list, b: list) -> list:
+            a.extend(b)
+            return a
+
+        data_agg = data_kvp.partition_by(partitioner).aggregate_by_key(
+            [], append, extend, partitioner=partitioner
+        )
+        cluster_agg = cluster_kvp.partition_by(partitioner).aggregate_by_key(
+            [], append, extend, partitioner=partitioner
+        )
+
+        joined = cluster_agg.left_outer_join(data_agg, partitioner=partitioner)
+
+        searched = joined.map(
+            lambda kv: (
+                kv[0],
+                _reference_search_observation(
+                    kv[0], kv[1][0], kv[1][1], grids, params
+                ),
+            )
+        )
+
+        ml_rows = searched.flat_map(lambda kv: [p.to_ml_row() for p in kv[1]]).cache()
+        ml_rows.save_as_text_file(self.dfs, ml_output_path)
+
+        metrics = self.ctx.all_job_metrics()
+        n_dropped = int(dropped.value)
+
         pulses = [SinglePulse.from_ml_row(row) for row in ml_rows.collect()]
         null_joins = joined.filter(lambda kv: kv[1][1] is None).count()
         n_clusters = cluster_kvp.count()
 
         return DRapidResult(
-            pulses=pulses,
+            pulse_batch=PulseBatch.from_records(pulses),
             ml_output_path=ml_output_path,
             metrics=metrics,
             n_clusters=n_clusters,

@@ -22,8 +22,9 @@ from repro.core.alm import ALM_SCHEMES, AlmScheme, label_instances
 from repro.core.drapid import DRapidDriver, DRapidResult
 from repro.core.rapid import SinglePulse
 from repro.core.search import SearchParams
+from repro.dataplane import PulseBatch
 from repro.dfs import DataNode, DFSClient
-from repro.io.spe_files import read_ml_files, upload_observations
+from repro.io.spe_files import read_ml_batch, upload_observations
 from repro.sparklet.context import SparkletContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,17 +34,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class PipelineResult:
-    """Artifacts of a full pipeline run."""
+    """Artifacts of a full pipeline run (columnar; ``features`` is a
+    zero-copy view of the pulse batch's matrix)."""
 
     observations: list[Observation]
     drapid: DRapidResult
-    pulses: list[SinglePulse]
     features: np.ndarray
     is_pulsar: np.ndarray
     is_rrat: np.ndarray
     labels: np.ndarray
     scheme: AlmScheme
     report: "ClassificationReport | None" = None
+
+    @property
+    def pulses(self) -> list[SinglePulse]:
+        """Record-view adapter over the D-RAPID pulse batch."""
+        return self.drapid.pulses
 
 
 @dataclass
@@ -104,17 +110,26 @@ class SinglePulsePipeline:
         )
         result = driver.run(data_path, cluster_path)
         # Round-trip check: the ML files on the DFS reproduce the pulses.
-        assert len(read_ml_files(dfs, result.ml_output_path)) == result.n_pulses
+        assert len(read_ml_batch(dfs, result.ml_output_path)) == result.n_pulses
         return result
 
     # -- stage 4 -----------------------------------------------------------
-    def to_benchmark(self, pulses: list[SinglePulse]) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Feature matrix + truth flags + ALM labels for the pulse set."""
-        if not pulses:
+    def to_benchmark(
+        self, pulses: PulseBatch | list[SinglePulse]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Feature matrix + truth flags + ALM labels for the pulse set.
+
+        Accepts a :class:`PulseBatch` (the columnar path — the feature
+        matrix is used as-is, no per-pulse ``to_vector`` stacking) or a
+        plain list of records for backward compatibility.
+        """
+        if not isinstance(pulses, PulseBatch):
+            pulses = PulseBatch.from_records(pulses)
+        if not len(pulses):
             raise ValueError("no pulses to build a benchmark from")
-        features = np.vstack([p.features.to_vector() for p in pulses])
-        is_pulsar = np.array([p.source_name is not None for p in pulses])
-        is_rrat = np.array([p.is_rrat for p in pulses])
+        features = pulses.features
+        is_pulsar = pulses.is_pulsar
+        is_rrat = np.asarray(pulses.is_rrat)
         labels = label_instances(self.scheme, features, is_pulsar, is_rrat)
         return features, is_pulsar, is_rrat, labels
 
@@ -124,7 +139,7 @@ class SinglePulsePipeline:
         """Execute all four stages; stage 4 trains a RandomForest."""
         observations = self.generate(pulsars, n_observations)
         drapid = self.identify(observations)
-        features, is_pulsar, is_rrat, labels = self.to_benchmark(drapid.pulses)
+        features, is_pulsar, is_rrat, labels = self.to_benchmark(drapid.pulse_batch)
         report = None
         if classify:
             # Imported lazily: stage 4 is optional and repro.ml is a large
@@ -144,7 +159,6 @@ class SinglePulsePipeline:
         return PipelineResult(
             observations=observations,
             drapid=drapid,
-            pulses=drapid.pulses,
             features=features,
             is_pulsar=is_pulsar,
             is_rrat=is_rrat,

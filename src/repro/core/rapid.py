@@ -20,8 +20,13 @@ import numpy as np
 
 from repro.astro.survey import Observation
 from repro.core.bins import DPG_FIXED_BIN_SIZE, dynamic_bin_size
-from repro.core.features import PulseFeatures, extract_pulse_features
+from repro.core.features import (
+    PulseFeatures,
+    extract_pulse_features,
+    extract_pulse_features_matrix,
+)
 from repro.core.search import SearchParams, find_single_pulses, spans_to_spe_ranges
+from repro.dataplane import PulseBatch, fmt_float
 
 
 @dataclass
@@ -42,8 +47,12 @@ class SinglePulse:
         return self.spe_stop - self.spe_start
 
     def to_ml_row(self) -> str:
-        """Serialize for the D-RAPID "ML file" output (stage 3 → stage 4)."""
-        vec = ",".join(f"{v:.6g}" for v in self.features.to_vector())
+        """Serialize for the D-RAPID "ML file" output (stage 3 → stage 4).
+
+        Floats use shortest-exact formatting (``repr``), so
+        ``from_ml_row(to_ml_row(p)) == p`` holds bit for bit.
+        """
+        vec = ",".join(fmt_float(v) for v in self.features.to_vector().tolist())
         label = self.source_name or ""
         return f"{self.observation_key},{self.cluster_id},{self.spe_start},{self.spe_stop},{label},{int(self.is_rrat)},{vec}"
 
@@ -77,6 +86,39 @@ class RapidResult:
         return len(self.pulses)
 
 
+def _search_sorted_cluster(times, dms, snrs, params):
+    """Shared Algorithm 1 prologue: sort by DM, search, rank the peaks.
+
+    Returns ``None`` when the cluster is too small or has no pulses;
+    otherwise the sorted columns plus the per-pulse ranges and ranks.  Both
+    the record path and the batch path run exactly this, so their inputs to
+    feature extraction are identical arrays.
+    """
+    times = np.asarray(times, dtype=float)
+    dms = np.asarray(dms, dtype=float)
+    snrs = np.asarray(snrs, dtype=float)
+    n = dms.size
+    if n < 2:
+        return None
+    order = np.lexsort((times, dms))
+    dms_s, snrs_s, times_s = dms[order], snrs[order], times[order]
+
+    binsize = dynamic_bin_size(n, params.weight)
+    spans, edges = find_single_pulses(dms_s, snrs_s, params, binsize=binsize)
+    if not spans:
+        return None
+    ranges = spans_to_spe_ranges(spans, edges)
+
+    # PulseRank: 1 = brightest peak of the cluster (ordered by SNRMax).
+    peak_snrs = [float(snrs_s[a:b].max()) for a, b, _p in ranges]
+    rank_order = np.argsort([-s for s in peak_snrs], kind="stable")
+    pulse_ranks = np.empty(len(ranges), dtype=int)
+    pulse_ranks[rank_order] = np.arange(1, len(ranges) + 1)
+
+    t_lo, t_hi = float(times_s.min()), float(times_s.max())
+    return dms_s, snrs_s, times_s, binsize, ranges, pulse_ranks, t_lo, t_hi
+
+
 def run_rapid_on_cluster(
     times: np.ndarray,
     dms: np.ndarray,
@@ -93,29 +135,15 @@ def run_rapid_on_cluster(
 
     ``dm_spacing_of`` maps a DM value to the local trial-ladder step (the
     DMSpacing feature); pass ``grid.spacing_at``.
+
+    This is the record-oriented path, retained as the reference the
+    columnar :func:`run_rapid_on_cluster_batch` is equivalence-gated
+    against.
     """
-    times = np.asarray(times, dtype=float)
-    dms = np.asarray(dms, dtype=float)
-    snrs = np.asarray(snrs, dtype=float)
-    n = dms.size
-    if n < 2:
+    searched = _search_sorted_cluster(times, dms, snrs, params)
+    if searched is None:
         return []
-    order = np.lexsort((times, dms))
-    dms_s, snrs_s, times_s = dms[order], snrs[order], times[order]
-
-    binsize = dynamic_bin_size(n, params.weight)
-    spans, edges = find_single_pulses(dms_s, snrs_s, params, binsize=binsize)
-    if not spans:
-        return []
-    ranges = spans_to_spe_ranges(spans, edges)
-
-    # PulseRank: 1 = brightest peak of the cluster (ordered by SNRMax).
-    peak_snrs = [float(snrs_s[a:b].max()) for a, b, _p in ranges]
-    rank_order = np.argsort([-s for s in peak_snrs], kind="stable")
-    pulse_ranks = np.empty(len(ranges), dtype=int)
-    pulse_ranks[rank_order] = np.arange(1, len(ranges) + 1)
-
-    t_lo, t_hi = float(times_s.min()), float(times_s.max())
+    dms_s, snrs_s, times_s, binsize, ranges, pulse_ranks, t_lo, t_hi = searched
     out: list[SinglePulse] = []
     for i, (a, b, peak_hint) in enumerate(ranges):
         seg_dms, seg_snrs, seg_times = dms_s[a:b], snrs_s[a:b], times_s[a:b]
@@ -147,6 +175,116 @@ def run_rapid_on_cluster(
     return out
 
 
+def run_rapid_on_cluster_batch(
+    times: np.ndarray,
+    dms: np.ndarray,
+    snrs: np.ndarray,
+    cluster_rank: int,
+    dm_spacing_of: "callable",
+    observation_key: str = "",
+    cluster_id: int = 0,
+    params: SearchParams = SearchParams(),
+    source_name: str | None = None,
+    is_rrat: bool = False,
+) -> PulseBatch:
+    """Columnar :func:`run_rapid_on_cluster`: one PulseBatch per cluster.
+
+    Runs the same Algorithm 1 prologue and fills the (n, 22) feature matrix
+    directly (:func:`extract_pulse_features_matrix`) — no per-pulse
+    dataclasses.  Bit-identical to the record path by construction.
+    """
+    searched = _search_sorted_cluster(times, dms, snrs, params)
+    if searched is None:
+        return PulseBatch.empty()
+    dms_s, snrs_s, times_s, binsize, ranges, pulse_ranks, t_lo, t_hi = searched
+    features = extract_pulse_features_matrix(
+        dms_s, snrs_s, times_s, ranges, pulse_ranks,
+        binsize=binsize,
+        cluster_rank=cluster_rank,
+        dm_spacing_of=dm_spacing_of,
+        cluster_start_time=t_lo,
+        cluster_stop_time=t_hi,
+    )
+    n = len(ranges)
+    return PulseBatch(
+        observation_key=np.full(n, observation_key, dtype=object),
+        cluster_id=np.full(n, cluster_id, dtype=np.int64),
+        spe_start=np.array([a for a, _b, _p in ranges], dtype=np.int64),
+        spe_stop=np.array([b for _a, b, _p in ranges], dtype=np.int64),
+        source_name=np.full(n, source_name, dtype=object),
+        is_rrat=np.full(n, is_rrat, dtype=np.bool_),
+        features=features,
+    )
+
+
+@dataclass
+class RapidBatchResult:
+    """Columnar counterpart of :class:`RapidResult`."""
+
+    pulse_batch: PulseBatch
+    n_clusters_searched: int = 0
+    n_clusters_skipped: int = 0
+
+    @property
+    def n_pulses(self) -> int:
+        return len(self.pulse_batch)
+
+    @property
+    def pulses(self) -> list[SinglePulse]:
+        """Record-view adapter (materialized on demand)."""
+        return self.pulse_batch.to_records()
+
+
+def run_rapid_observation_batch(
+    obs: Observation,
+    params: SearchParams = SearchParams(),
+    min_cluster_size: int = 2,
+    use_bounding_box: bool = True,
+) -> RapidBatchResult:
+    """Serial RAPID over one observation, staying columnar throughout.
+
+    Reads the observation's :class:`SPEBatch` columns and concatenates the
+    per-cluster :class:`PulseBatch` outputs; semantics match
+    :func:`run_rapid_observation` exactly (same masks, same skip rules).
+    """
+    batch = obs.spe_batch
+    times, dms, snrs = batch.time_s, batch.dm, batch.snr
+    key = obs.key.to_key()
+    chunks: list[PulseBatch] = []
+    searched = skipped = 0
+    for cluster in obs.clusters:
+        if cluster.size < min_cluster_size:
+            skipped += 1
+            continue
+        if use_bounding_box:
+            mask = (
+                (dms >= cluster.dm_lo)
+                & (dms <= cluster.dm_hi)
+                & (times >= cluster.t_lo)
+                & (times <= cluster.t_hi)
+            )
+            idx = np.nonzero(mask)[0]
+        else:
+            idx = np.array(cluster.indices, dtype=int)
+        name, is_rrat = obs.cluster_truth.get(cluster.cluster_id, (None, False))
+        pb = run_rapid_on_cluster_batch(
+            times[idx],
+            dms[idx],
+            snrs[idx],
+            cluster_rank=cluster.rank,
+            dm_spacing_of=obs.grid.spacing_at,
+            observation_key=key,
+            cluster_id=cluster.cluster_id,
+            params=params,
+            source_name=name,
+            is_rrat=is_rrat,
+        )
+        if len(pb):
+            chunks.append(pb)
+        searched += 1
+    return RapidBatchResult(PulseBatch.concat(chunks), searched, skipped)
+
+
 def run_rapid_observation(
     obs: Observation,
     params: SearchParams = SearchParams(),
@@ -164,9 +302,8 @@ def run_rapid_observation(
     """
     result = RapidResult()
     key = obs.key.to_key()
-    times = np.array([s.time_s for s in obs.spes])
-    dms = np.array([s.dm for s in obs.spes])
-    snrs = np.array([s.snr for s in obs.spes])
+    batch = obs.spe_batch
+    times, dms, snrs = batch.time_s, batch.dm, batch.snr
     for cluster in obs.clusters:
         if cluster.size < min_cluster_size:
             result.n_clusters_skipped += 1
@@ -206,10 +343,10 @@ def run_rapid_dpg(obs: Observation, params: SearchParams = SearchParams()) -> in
     observation and runs the peak search once with the fixed bin size of 25.
     Returns the number of dispersed pulse groups found.
     """
-    if not obs.spes:
+    if not len(obs.spe_batch):
         return 0
-    dms = np.array([s.dm for s in obs.spes])
-    snrs = np.array([s.snr for s in obs.spes])
+    dms = obs.spe_batch.dm
+    snrs = obs.spe_batch.snr
     uniq, inverse = np.unique(dms, return_inverse=True)
     profile = np.zeros(uniq.size)
     np.maximum.at(profile, inverse, snrs)

@@ -112,3 +112,46 @@ def bin_fit_residual(x: np.ndarray, y: np.ndarray, binsize: int) -> float:
         total += float(np.abs(ys - (intercept + slope * xs)).sum())
         count += stop - start
     return total / max(count, 1)
+
+
+def bin_fit_residual_given(
+    x: np.ndarray,
+    y: np.ndarray,
+    slopes: np.ndarray,
+    edges: list[tuple[int, int]],
+) -> float:
+    """``bin_fit_residual`` reusing slopes/edges the caller already computed.
+
+    Bit-identical to the reference loop: all bins except possibly the last
+    share one length, so their points gather into a contiguous (bins, L)
+    matrix whose row-wise ``mean``/``sum`` reductions are NumPy's same
+    pairwise sums as the per-bin calls; the odd-sized final bin falls back
+    to the scalar path, and per-bin totals accumulate in bin order.
+    """
+    if not edges:
+        return 0.0
+    n_bins = len(edges)
+    length = edges[0][1] - edges[0][0]
+    full = n_bins if edges[-1][1] - edges[-1][0] == length else n_bins - 1
+    total = 0.0
+    count = 0
+    if full:
+        starts = np.array([e[0] for e in edges[:full]])
+        idx = starts[:, None] + np.arange(length)
+        xs = x[idx]
+        ys = y[idx]
+        s = slopes[:full]
+        intercepts = ys.mean(axis=1) - s * xs.mean(axis=1)
+        per_bin = np.abs(ys - (intercepts[:, None] + s[:, None] * xs)).sum(axis=1)
+        for v in per_bin.tolist():
+            total += v
+        count += full * length
+    if full < n_bins:
+        start, stop = edges[-1]
+        xs1 = x[start:stop]
+        ys1 = y[start:stop]
+        slope = slopes[-1]
+        intercept = ys1.mean() - slope * xs1.mean()
+        total += float(np.abs(ys1 - (intercept + slope * xs1)).sum())
+        count += stop - start
+    return total / max(count, 1)

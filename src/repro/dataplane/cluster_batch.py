@@ -1,0 +1,223 @@
+"""Columnar batches of cluster-file rows.
+
+:class:`ClusterBatch` holds the eleven cluster-file columns as parallel
+arrays (strings as object columns).  Same ownership rules as
+:class:`repro.dataplane.spe_batch.SPEBatch`: construction and ``slice`` are
+zero-copy; ``take``/``concat`` allocate and never mutate inputs.
+Serialization is byte-identical to :meth:`ClusterRecord.to_line`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.dataplane._columns import float_columns, int_columns, split_rows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.io.spe_files import ClusterRecord
+
+_COLUMNS = (
+    "key", "cluster_id", "rank", "n_spes",
+    "dm_lo", "dm_hi", "t_lo", "t_hi", "max_snr",
+    "source", "is_rrat",
+)
+
+
+class ClusterBatch:
+    """A batch of cluster-file rows as parallel columns."""
+
+    __slots__ = _COLUMNS
+
+    def __init__(
+        self,
+        key: np.ndarray,
+        cluster_id: np.ndarray,
+        rank: np.ndarray,
+        n_spes: np.ndarray,
+        dm_lo: np.ndarray,
+        dm_hi: np.ndarray,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+        max_snr: np.ndarray,
+        source: np.ndarray | None = None,
+        is_rrat: np.ndarray | None = None,
+    ) -> None:
+        self.key = np.asarray(key, dtype=object)
+        self.cluster_id = np.asarray(cluster_id, dtype=np.int64)
+        self.rank = np.asarray(rank, dtype=np.int64)
+        self.n_spes = np.asarray(n_spes, dtype=np.int64)
+        self.dm_lo = np.asarray(dm_lo, dtype=np.float64)
+        self.dm_hi = np.asarray(dm_hi, dtype=np.float64)
+        self.t_lo = np.asarray(t_lo, dtype=np.float64)
+        self.t_hi = np.asarray(t_hi, dtype=np.float64)
+        self.max_snr = np.asarray(max_snr, dtype=np.float64)
+        n = self.key.size
+        self.source = (
+            np.full(n, None, dtype=object) if source is None
+            else np.asarray(source, dtype=object)
+        )
+        self.is_rrat = (
+            np.zeros(n, dtype=np.bool_) if is_rrat is None
+            else np.asarray(is_rrat, dtype=np.bool_)
+        )
+        if not all(getattr(self, c).size == n for c in _COLUMNS):
+            raise ValueError("ClusterBatch columns must have equal length")
+
+    # -- basics ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.key.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterBatch):
+            return NotImplemented
+        return all(
+            np.array_equal(getattr(self, c), getattr(other, c))
+            for c in _COLUMNS
+        )
+
+    def __repr__(self) -> str:
+        return f"ClusterBatch(n={len(self)})"
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for c in _COLUMNS:
+            col = getattr(self, c)
+            if col.dtype == object:
+                total += sum(len(v) + 49 if isinstance(v, str) else 16
+                             for v in col)
+            else:
+                total += col.nbytes
+        return total
+
+    @classmethod
+    def empty(cls) -> "ClusterBatch":
+        zi = np.empty(0, dtype=np.int64)
+        zf = np.empty(0, dtype=np.float64)
+        zo = np.empty(0, dtype=object)
+        return cls(zo, zi, zi, zi, zf, zf, zf, zf, zf, zo,
+                   np.empty(0, dtype=np.bool_))
+
+    # -- batch ops ---------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "ClusterBatch":
+        return ClusterBatch(*(getattr(self, c)[start:stop] for c in _COLUMNS))
+
+    def take(self, indices: np.ndarray) -> "ClusterBatch":
+        idx = np.asarray(indices)
+        return ClusterBatch(*(getattr(self, c)[idx] for c in _COLUMNS))
+
+    @classmethod
+    def concat(cls, batches: Sequence["ClusterBatch"]) -> "ClusterBatch":
+        batches = [b for b in batches if b is not None]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return cls(*(
+            np.concatenate([getattr(b, c) for b in batches])
+            for c in _COLUMNS
+        ))
+
+    def split_by_key(self) -> list[tuple[str, "ClusterBatch"]]:
+        """Group rows by key, keys in first-seen order, row order preserved."""
+        groups: dict[str, list[int]] = {}
+        for i, k in enumerate(self.key.tolist()):
+            groups.setdefault(k, []).append(i)
+        return [
+            (k, self.take(np.array(idx, dtype=np.intp)))
+            for k, idx in groups.items()
+        ]
+
+    # -- record adapters ---------------------------------------------------
+    def record(self, i: int) -> "ClusterRecord":
+        from repro.io.spe_files import ClusterRecord
+
+        return ClusterRecord(
+            key=self.key[i],
+            cluster_id=int(self.cluster_id[i]),
+            rank=int(self.rank[i]),
+            n_spes=int(self.n_spes[i]),
+            dm_lo=float(self.dm_lo[i]),
+            dm_hi=float(self.dm_hi[i]),
+            t_lo=float(self.t_lo[i]),
+            t_hi=float(self.t_hi[i]),
+            max_snr=float(self.max_snr[i]),
+            source=self.source[i],
+            is_rrat=bool(self.is_rrat[i]),
+        )
+
+    def to_records(self) -> list["ClusterRecord"]:
+        return [self.record(i) for i in range(len(self))]
+
+    @classmethod
+    def from_records(cls, records: Iterable["ClusterRecord"]) -> "ClusterBatch":
+        records = list(records)
+        if not records:
+            return cls.empty()
+        return cls(
+            np.array([r.key for r in records], dtype=object),
+            np.array([r.cluster_id for r in records], dtype=np.int64),
+            np.array([r.rank for r in records], dtype=np.int64),
+            np.array([r.n_spes for r in records], dtype=np.int64),
+            np.array([r.dm_lo for r in records], dtype=np.float64),
+            np.array([r.dm_hi for r in records], dtype=np.float64),
+            np.array([r.t_lo for r in records], dtype=np.float64),
+            np.array([r.t_hi for r in records], dtype=np.float64),
+            np.array([r.max_snr for r in records], dtype=np.float64),
+            np.array([r.source for r in records], dtype=object),
+            np.array([r.is_rrat for r in records], dtype=np.bool_),
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_lines(self) -> list[str]:
+        """Cluster-file rows, byte-identical to ClusterRecord.to_line."""
+        return [
+            f"{k},{cid},{rk},{ns},{dlo:.3f},{dhi:.3f},{tlo:.6f},{thi:.6f},"
+            f"{ms:.3f},{src or ''},{int(rr)}"
+            for k, cid, rk, ns, dlo, dhi, tlo, thi, ms, src, rr in zip(
+                self.key.tolist(), self.cluster_id.tolist(),
+                self.rank.tolist(), self.n_spes.tolist(),
+                self.dm_lo.tolist(), self.dm_hi.tolist(),
+                self.t_lo.tolist(), self.t_hi.tolist(),
+                self.max_snr.tolist(), self.source.tolist(),
+                self.is_rrat.tolist(),
+            )
+        ]
+
+    @classmethod
+    def from_lines(
+        cls,
+        lines: Sequence[str],
+        *,
+        source: str | None = None,
+        linenos: Sequence[int] | None = None,
+    ) -> "ClusterBatch":
+        """Strict parse of cluster-file rows with file:line diagnostics."""
+        if not lines:
+            return cls.empty()
+        parts = split_rows(lines, 11, source=source, linenos=linenos,
+                           what="cluster row")
+        ints = int_columns(parts, slice(1, 4), source=source,
+                           linenos=linenos, what="cluster row")
+        floats = float_columns(parts, slice(4, 9), source=source,
+                               linenos=linenos, what="cluster row")
+        rrat = int_columns(parts, slice(10, 11), source=source,
+                           linenos=linenos, what="cluster row")
+        return cls(
+            np.array([p[0] for p in parts], dtype=object),
+            np.ascontiguousarray(ints[:, 0]),
+            np.ascontiguousarray(ints[:, 1]),
+            np.ascontiguousarray(ints[:, 2]),
+            np.ascontiguousarray(floats[:, 0]),
+            np.ascontiguousarray(floats[:, 1]),
+            np.ascontiguousarray(floats[:, 2]),
+            np.ascontiguousarray(floats[:, 3]),
+            np.ascontiguousarray(floats[:, 4]),
+            np.array([p[9] or None for p in parts], dtype=object),
+            rrat[:, 0] != 0,
+        )
+
+
+__all__ = ["ClusterBatch"]

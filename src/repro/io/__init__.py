@@ -4,7 +4,11 @@ from repro.io.spe_files import (
     ClusterRecord,
     build_cluster_file,
     build_data_file,
+    observation_cluster_batch,
+    parse_cluster_file,
     parse_cluster_line,
+    parse_data_file,
+    read_ml_batch,
     read_ml_files,
     upload_observations,
 )
@@ -13,7 +17,11 @@ __all__ = [
     "ClusterRecord",
     "build_cluster_file",
     "build_data_file",
+    "observation_cluster_batch",
+    "parse_cluster_file",
     "parse_cluster_line",
+    "parse_data_file",
+    "read_ml_batch",
     "read_ml_files",
     "upload_observations",
 ]

@@ -17,6 +17,14 @@ One output:
 - **ML file** — one row per identified single pulse
   (:meth:`repro.core.rapid.SinglePulse.to_ml_row`), later aggregated into
   the classification benchmark.
+
+Since the columnar refactor, whole files are built and parsed through the
+batch types (:class:`repro.dataplane.SPEBatch` /
+:class:`~repro.dataplane.ClusterBatch` / :class:`~repro.dataplane.PulseBatch`)
+rather than row at a time; the record-oriented builders are retained as
+``_reference_*`` for the equivalence tests.  Parse errors raise
+:class:`repro.dataplane.MalformedRowError` naming the file and 1-based
+line number.
 """
 
 from __future__ import annotations
@@ -24,8 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from repro.astro.spe import SPE_FILE_HEADER, spes_to_csv
 from repro.core.rapid import SinglePulse
+from repro.dataplane import ClusterBatch, MalformedRowError, PulseBatch, SPEBatch
+from repro.dataplane._columns import data_lines
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.astro.survey import Observation
@@ -60,35 +72,97 @@ class ClusterRecord:
         )
 
 
-def parse_cluster_line(line: str) -> ClusterRecord:
+def parse_cluster_line(
+    line: str, source: str | None = None, lineno: int | None = None
+) -> ClusterRecord:
+    """Parse one cluster-file row.
+
+    ``source``/``lineno``, when given, are included in the error so a bad
+    row can be located in the file it came from.
+    """
     parts = line.rstrip("\n").split(",")
     if len(parts) != 11:
-        raise ValueError(f"malformed cluster line ({len(parts)} fields): {line!r}")
-    return ClusterRecord(
-        key=parts[0],
-        cluster_id=int(parts[1]),
-        rank=int(parts[2]),
-        n_spes=int(parts[3]),
-        dm_lo=float(parts[4]),
-        dm_hi=float(parts[5]),
-        t_lo=float(parts[6]),
-        t_hi=float(parts[7]),
-        max_snr=float(parts[8]),
-        source=parts[9] or None,
-        is_rrat=bool(int(parts[10])),
+        raise MalformedRowError(
+            f"malformed cluster line ({len(parts)} fields): {line!r}",
+            source, lineno,
+        )
+    try:
+        return ClusterRecord(
+            key=parts[0],
+            cluster_id=int(parts[1]),
+            rank=int(parts[2]),
+            n_spes=int(parts[3]),
+            dm_lo=float(parts[4]),
+            dm_hi=float(parts[5]),
+            t_lo=float(parts[6]),
+            t_hi=float(parts[7]),
+            max_snr=float(parts[8]),
+            source=parts[9] or None,
+            is_rrat=bool(int(parts[10])),
+        )
+    except ValueError as exc:
+        raise MalformedRowError(
+            f"malformed cluster line ({exc}): {line!r}", source, lineno
+        ) from None
+
+
+def observation_cluster_batch(obs: "Observation") -> ClusterBatch:
+    """One observation's clusters (with ground truth) as a ClusterBatch."""
+    clusters = obs.clusters
+    n = len(clusters)
+    if n == 0:
+        return ClusterBatch.empty()
+    key = obs.key.to_key()
+    truth = [obs.cluster_truth.get(c.cluster_id, (None, False)) for c in clusters]
+    return ClusterBatch(
+        np.full(n, key, dtype=object),
+        np.array([c.cluster_id for c in clusters], dtype=np.int64),
+        np.array([c.rank for c in clusters], dtype=np.int64),
+        np.array([c.size for c in clusters], dtype=np.int64),
+        np.array([c.dm_lo for c in clusters], dtype=np.float64),
+        np.array([c.dm_hi for c in clusters], dtype=np.float64),
+        np.array([c.t_lo for c in clusters], dtype=np.float64),
+        np.array([c.t_hi for c in clusters], dtype=np.float64),
+        np.array([c.max_snr for c in clusters], dtype=np.float64),
+        np.array([name for name, _r in truth], dtype=object),
+        np.array([r for _name, r in truth], dtype=np.bool_),
     )
 
 
 def build_data_file(observations: Iterable["Observation"]) -> str:
-    """Concatenate every observation's SPEs into one data-file text."""
+    """Concatenate every observation's SPEs into one data-file text.
+
+    Vectorized through each observation's :class:`SPEBatch`; byte-identical
+    to :func:`_reference_build_data_file`.
+    """
+    chunks = [SPE_FILE_HEADER + "\n"]
+    for obs in observations:
+        chunks.append(obs.spe_batch.to_data_csv(obs.key.to_key()))
+    return "".join(chunks)
+
+
+def build_cluster_file(observations: Iterable["Observation"]) -> str:
+    """One row per cluster, with benchmark ground truth attached.
+
+    Serialized through :class:`ClusterBatch`; byte-identical to
+    :func:`_reference_build_cluster_file`.
+    """
+    lines = [CLUSTER_FILE_HEADER]
+    for obs in observations:
+        lines.extend(observation_cluster_batch(obs).to_lines())
+    return "\n".join(lines) + "\n"
+
+
+def _reference_build_data_file(observations: Iterable["Observation"]) -> str:
+    """The record-at-a-time data-file builder, retained for equivalence tests."""
     chunks = [SPE_FILE_HEADER + "\n"]
     for obs in observations:
         chunks.append(spes_to_csv(obs.key, obs.spes))
     return "".join(chunks)
 
 
-def build_cluster_file(observations: Iterable["Observation"]) -> str:
-    """One row per cluster, with benchmark ground truth attached."""
+def _reference_build_cluster_file(observations: Iterable["Observation"]) -> str:
+    """The record-at-a-time cluster-file builder, retained for equivalence tests."""
     lines = [CLUSTER_FILE_HEADER]
     for obs in observations:
         key = obs.key.to_key()
@@ -112,6 +186,35 @@ def build_cluster_file(observations: Iterable["Observation"]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def parse_data_file(text: str, source: str | None = None) -> dict[str, SPEBatch]:
+    """Strictly parse a whole data file into per-key SPE batches.
+
+    Keys appear in first-seen order.  Bad rows raise
+    :class:`MalformedRowError` with ``source`` and the 1-based line number.
+    """
+    lines, linenos = data_lines(text)
+    rows_by_key: dict[str, list[str]] = {}
+    nums_by_key: dict[str, list[int]] = {}
+    for line, num in zip(lines, linenos):
+        key, sep, rest = line.partition(",")
+        if not sep:
+            raise MalformedRowError(
+                f"malformed SPE line (no key prefix): {line!r}", source, num
+            )
+        rows_by_key.setdefault(key, []).append(rest)
+        nums_by_key.setdefault(key, []).append(num)
+    return {
+        key: SPEBatch.from_csv_rows(rows, source=source, linenos=nums_by_key[key])
+        for key, rows in rows_by_key.items()
+    }
+
+
+def parse_cluster_file(text: str, source: str | None = None) -> ClusterBatch:
+    """Strictly parse a whole cluster file into one ClusterBatch."""
+    lines, linenos = data_lines(text)
+    return ClusterBatch.from_lines(lines, source=source, linenos=linenos)
+
+
 def upload_observations(
     dfs: "DFSClient",
     observations: list["Observation"],
@@ -124,12 +227,22 @@ def upload_observations(
     return data_path, cluster_path
 
 
-def read_ml_files(dfs: "DFSClient", prefix: str) -> list[SinglePulse]:
-    """Aggregate stage-3 ML output files into SinglePulse records (stage 4)."""
-    pulses: list[SinglePulse] = []
+def read_ml_batch(dfs: "DFSClient", prefix: str) -> PulseBatch:
+    """Aggregate stage-3 ML output files into one PulseBatch (stage 4).
+
+    Each part file parses as one vectorized batch; a malformed row raises
+    :class:`MalformedRowError` naming the part file and line number.
+    """
+    batches: list[PulseBatch] = []
     for path in dfs.ls(prefix):
-        for line in dfs.get_text(path).splitlines():
-            if not line or line.startswith("#"):
-                continue
-            pulses.append(SinglePulse.from_ml_row(line))
-    return pulses
+        lines, linenos = data_lines(dfs.get_text(path))
+        if lines:
+            batches.append(
+                PulseBatch.from_ml_lines(lines, source=path, linenos=linenos)
+            )
+    return PulseBatch.concat(batches)
+
+
+def read_ml_files(dfs: "DFSClient", prefix: str) -> list[SinglePulse]:
+    """Record-view adapter over :func:`read_ml_batch`."""
+    return read_ml_batch(dfs, prefix).to_records()

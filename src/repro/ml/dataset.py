@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane import PulseBatch
 
 
 @dataclass
@@ -40,6 +44,30 @@ class Dataset:
             self.class_names = tuple(f"c{i}" for i in range(n_classes))
         elif len(self.class_names) < n_classes:
             raise ValueError("class_names shorter than the number of labels present")
+
+    @classmethod
+    def from_pulse_batch(
+        cls,
+        batch: "PulseBatch",
+        y: np.ndarray,
+        class_names: tuple[str, ...] = (),
+        name: str = "pulses",
+    ) -> "Dataset":
+        """Build a dataset straight off a :class:`PulseBatch`.
+
+        The batch's (n, 22) feature matrix is used as ``X`` directly — no
+        intermediate ``SinglePulse`` list, no per-pulse ``to_vector``
+        stacking.
+        """
+        from repro.core.features import FEATURE_NAMES
+
+        return cls(
+            X=batch.features,
+            y=y,
+            feature_names=FEATURE_NAMES,
+            class_names=class_names,
+            name=name,
+        )
 
     @property
     def n_instances(self) -> int:

@@ -21,7 +21,7 @@ reproducible: same seed, same rules, same execution order → same faults.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Rule kinds understood by the injector.
 TASK_CRASH = "task_crash"

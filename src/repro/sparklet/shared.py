@@ -14,7 +14,7 @@ and commits them only when the attempt succeeds.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, TypeVar
+from typing import Callable, Generic, TypeVar
 
 T = TypeVar("T")
 

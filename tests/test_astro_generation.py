@@ -133,7 +133,6 @@ class TestNoiseAndRFI:
         return DMGrid(max_dm=300.0, coarsen=10.0)
 
     def test_noise_cluster_count_scales(self, grid):
-        rng = np.random.default_rng(0)
         few = generate_noise_spes(5, 60.0, grid, rng=np.random.default_rng(0))
         many = generate_noise_spes(50, 60.0, grid, rng=np.random.default_rng(0))
         assert len(many) > len(few)

@@ -83,7 +83,6 @@ class TestBatchDedispersion:
         may split the peak across neighbouring samples (especially with few
         channels) but cannot move mass out of that window.
         """
-        rng = np.random.default_rng(seed)
         dms = dm_lo + step * np.arange(n_dms)
         data = np.zeros((n_chan, n_samples))
         edges = np.linspace(300.0, 400.0, n_chan + 1)

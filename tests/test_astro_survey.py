@@ -5,7 +5,7 @@ import pytest
 
 from repro.astro import GBT350DRIFT, PALFA, generate_observation
 from repro.astro.benchmark import build_benchmark, cached_benchmark
-from repro.astro.population import b1853_like, synthesize_population
+from repro.astro.population import b1853_like
 from repro.astro.survey import SurveyConfig
 
 

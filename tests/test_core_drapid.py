@@ -1,6 +1,5 @@
 """Unit tests for the D-RAPID driver, multithreaded baseline and pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.astro import GBT350DRIFT
@@ -9,7 +8,6 @@ from repro.core.multithreaded import MultithreadedRapid, ThreadedBoxModel
 from repro.core.pipeline import SinglePulsePipeline
 from repro.core.rapid import run_rapid_observation
 from repro.io.spe_files import upload_observations
-from repro.sparklet.rdd import CoGroupedRDD, ShuffleDependency
 
 
 @pytest.fixture

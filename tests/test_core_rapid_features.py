@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.alm import AVGSNR_WEAK_STRONG
 from repro.core.features import FEATURE_NAMES, PulseFeatures, extract_pulse_features
 from repro.core.rapid import (
     SinglePulse,

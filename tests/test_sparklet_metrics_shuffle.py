@@ -1,6 +1,5 @@
 """Direct unit tests for metrics estimation and the shuffle manager."""
 
-import numpy as np
 import pytest
 
 from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics, estimate_bytes

@@ -5,7 +5,6 @@ from collections import defaultdict
 import pytest
 
 from repro.sparklet import HashPartitioner
-from repro.sparklet.rdd import ShuffledRDD
 
 
 @pytest.fixture
@@ -152,7 +151,6 @@ class TestJoins:
         # Force materialization of the partition_by shuffles.
         a.count(), b.count()
         joined = a.join(b, partitioner=part)
-        cogrouped = joined.parent if hasattr(joined, "parent") else None
         # Walk lineage: the cogroup node must have no ShuffleDependency.
         from repro.sparklet.rdd import CoGroupedRDD, ShuffleDependency
 

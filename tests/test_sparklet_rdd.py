@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sparklet import HashPartitioner
 
 
 class TestParallelize:

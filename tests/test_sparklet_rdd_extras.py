@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.sparklet import HashPartitioner
-from repro.sparklet.rdd import ShuffleDependency
 
 
 class TestCoalesce:
