@@ -1,0 +1,200 @@
+"""Observability benchmark: what does the event log cost when it's off?
+
+Three questions, answered against a real measured Sparklet job:
+
+1. **Disabled overhead** — the default (``obs=None`` → ``NULL_OBS``) and an
+   explicit ``ObsConfig(enabled=False)`` must both cost < 2% vs a build
+   with no observability argument at all.  Rounds are interleaved
+   (baseline/disabled/enabled, repeated) so drift in machine load hits all
+   arms equally; medians are compared.
+2. **Enabled cost + throughput** — wall-time inflation with the full event
+   log + spans + registry on, and raw ``EventLog.emit`` events/sec.
+3. **Replay identity** — before timing anything, the enabled run's event
+   log must replay into metrics byte-identical to the live objects, so a
+   drift in the event vocabulary fails CI even at smoke scale.
+
+Writes ``BENCH_observability.json`` at the repo root and a table under
+``benchmarks/results/``.
+
+Run:    PYTHONPATH=src python benchmarks/bench_observability.py [--smoke]
+or:     PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_observability.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+from _bench_utils import emit, format_table
+from repro.obs import EventLog, ObsConfig, replay_job_metrics
+from repro.sparklet.context import SparkletContext
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_observability.json"
+
+_UNSET = object()
+
+
+def _make_data(n_elements: int) -> list:
+    return [(i % 97, float(i)) for i in range(n_elements)]
+
+
+def _run_job(obs, data: list):
+    ctx = (SparkletContext(default_parallelism=8) if obs is _UNSET
+           else SparkletContext(default_parallelism=8, obs=obs))
+    (
+        ctx.parallelize(data, 16)
+        .reduce_by_key(lambda a, b: a + b)
+        .map(lambda kv: (kv[0] % 7, kv[1]))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    return ctx
+
+
+def _time_job(obs, data: list) -> float:
+    gc.collect()
+    t0 = time.perf_counter()
+    _run_job(obs, data)
+    return time.perf_counter() - t0
+
+
+def bench_overhead(rounds: int, n_elements: int) -> dict:
+    """Interleaved baseline/disabled/enabled wall times.
+
+    Arm order rotates every round so slow drift in machine load cannot bias
+    one arm, and each overhead is the *median of per-round ratios* against
+    the round's own baseline sample — pairing adjacent-in-time samples
+    cancels drifting load that a pooled median cannot.
+    """
+    arms = [
+        ("baseline", _UNSET),                    # no obs argument at all
+        ("default_off", None),                   # obs=None → NULL_OBS
+        ("disabled", ObsConfig(enabled=False)),  # explicit disabled config
+        ("enabled", ObsConfig(enabled=True)),    # full in-memory event log
+    ]
+    data = _make_data(n_elements)
+    walls: dict[str, list[float]] = {name: [] for name, _ in arms}
+    _time_job(_UNSET, data)  # warm-up (imports, allocator)
+    for r in range(rounds):
+        for name, obs in arms[r % len(arms):] + arms[:r % len(arms)]:
+            walls[name].append(_time_job(obs, data))
+    def pct(name: str) -> float:
+        ratios = [w / b for w, b in zip(walls[name], walls["baseline"])]
+        return 100.0 * (statistics.median(ratios) - 1.0)
+
+    return {
+        "rounds": rounds,
+        "n_elements": n_elements,
+        "min_wall_s": {name: round(min(w), 6) for name, w in walls.items()},
+        "median_wall_s": {
+            name: round(statistics.median(w), 6) for name, w in walls.items()
+        },
+        "overhead_default_off_pct": round(pct("default_off"), 4),
+        "overhead_disabled_pct": round(pct("disabled"), 4),
+        "overhead_enabled_pct": round(pct("enabled"), 4),
+    }
+
+
+def bench_event_throughput(n_events: int) -> dict:
+    """Raw in-memory and to-disk emit rates of the event log."""
+    log = EventLog()
+    t0 = time.perf_counter()
+    for i in range(n_events):
+        log.emit("task_end", stage_id=0, partition=i, attempt=0)
+    mem_s = time.perf_counter() - t0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with EventLog(path=Path(tmp) / "run.jsonl", keep=False) as disk_log:
+            t0 = time.perf_counter()
+            for i in range(n_events):
+                disk_log.emit("task_end", stage_id=0, partition=i, attempt=0)
+            disk_log.flush()
+            disk_s = time.perf_counter() - t0
+    return {
+        "n_events": n_events,
+        "memory_events_per_s": round(n_events / mem_s),
+        "disk_events_per_s": round(n_events / disk_s),
+    }
+
+
+def check_replay_identity(n_elements: int) -> dict:
+    """The enabled run's log must rebuild the live metrics byte-identically."""
+    ctx = _run_job(ObsConfig(enabled=True), _make_data(n_elements))
+    live = ctx.scheduler.job_history
+    replayed = replay_job_metrics(ctx.obs.events())
+    live_json = json.dumps([j.to_dict() for j in live], sort_keys=True)
+    replay_json = json.dumps([j.to_dict() for j in replayed], sort_keys=True)
+    identical = live_json == replay_json
+    assert identical, "event-log replay diverged from live metrics"
+    return {
+        "n_jobs": len(live),
+        "n_events": ctx.obs.log.n_events,
+        "byte_identical": identical,
+    }
+
+
+def run_all(smoke: bool = False) -> dict:
+    replay = check_replay_identity(n_elements=4_000 if smoke else 20_000)
+    overhead = bench_overhead(
+        rounds=14 if smoke else 20, n_elements=80_000 if smoke else 120_000
+    )
+    throughput = bench_event_throughput(n_events=20_000 if smoke else 100_000)
+
+    results = {
+        "benchmark": "observability",
+        "generated_by": "benchmarks/bench_observability.py",
+        "smoke": smoke,
+        "replay_identity": replay,
+        "overhead": overhead,
+        "event_throughput": throughput,
+    }
+    RESULT_JSON.write_text(json.dumps(results, indent=2) + "\n")
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["replay byte-identical", replay["byte_identical"]],
+            ["events in pipeline log", replay["n_events"]],
+            ["default-off overhead %", overhead["overhead_default_off_pct"]],
+            ["disabled overhead %", overhead["overhead_disabled_pct"]],
+            ["enabled overhead %", overhead["overhead_enabled_pct"]],
+            ["emit (memory) events/s", throughput["memory_events_per_s"]],
+            ["emit (disk) events/s", throughput["disk_events_per_s"]],
+        ],
+    )
+    emit("BENCH_observability", table + f"\n\nwritten: {RESULT_JSON}")
+    return results
+
+
+def test_observability_benchmark():
+    """Acceptance: replay identity holds; disabled observability < 2%.
+
+    The overhead estimate carries a few percent of shared-runner noise even
+    on identical code, so an over-threshold reading is re-measured (up to
+    twice) before it can fail the gate — a *real* regression reproduces
+    across independent estimates, noise does not.
+    """
+    results = run_all(smoke=True)
+    assert results["replay_identity"]["byte_identical"]
+    over = results["overhead"]
+    for _ in range(2):
+        if (over["overhead_default_off_pct"] < 2.0
+                and over["overhead_disabled_pct"] < 2.0):
+            break
+        over = bench_overhead(rounds=14, n_elements=80_000)
+    assert over["overhead_default_off_pct"] < 2.0, over
+    assert over["overhead_disabled_pct"] < 2.0, over
+    assert results["event_throughput"]["memory_events_per_s"] > 10_000
+    assert RESULT_JSON.exists()
+
+
+if __name__ == "__main__":
+    import sys
+
+    run_all(smoke="--smoke" in sys.argv[1:])

@@ -10,8 +10,8 @@ Runs the full Fig. 2 workflow of the paper on a small synthetic survey:
 Run:  python examples/quickstart.py
 """
 
-from repro.astro import GBT350DRIFT, synthesize_population
-from repro.core.pipeline import SinglePulsePipeline
+from repro.api import PipelineConfig, run_pipeline
+from repro.astro import synthesize_population
 
 
 def main() -> None:
@@ -23,8 +23,9 @@ def main() -> None:
         print(f"  {pulsar.name}: P={pulsar.period_s:.2f}s DM={pulsar.dm:.0f} "
               f"SNR~{pulsar.mean_snr:.1f}")
 
-    pipeline = SinglePulsePipeline(survey=GBT350DRIFT, scheme="7", seed=42)
-    result = pipeline.run(population, n_observations=4, classify=True)
+    config = PipelineConfig(survey="GBT350Drift", scheme="7", seed=42,
+                            n_observations=4, classify=True)
+    result = run_pipeline(config, pulsars=population)
 
     print(f"\nobservations: {len(result.observations)}")
     print(f"clusters searched: {result.drapid.n_clusters}")

@@ -2,8 +2,15 @@
 "Scalable Solutions for Automated Single Pulse Identification and
 Classification in Radio Astronomy".
 
+The blessed entry point is :mod:`repro.api`::
+
+    from repro.api import PipelineConfig, run_pipeline
+    result = run_pipeline(PipelineConfig(survey="GBT350Drift", seed=42))
+
 Subpackages:
 
+- :mod:`repro.api` — frozen :class:`~repro.api.PipelineConfig` facade
+- :mod:`repro.obs` — event log, span tracer, metrics registry, replay
 - :mod:`repro.sparklet` — Spark-like dataflow engine + cluster simulator
 - :mod:`repro.dfs` — HDFS-like distributed file system simulation
 - :mod:`repro.ml` — the six Weka learners, SMOTE, feature selection, CV
@@ -20,4 +27,23 @@ PAPER = (
     "Astronomy. ICPP 2018. doi:10.1145/3225058.3225101"
 )
 
-__all__ = ["PAPER", "__version__"]
+__all__ = [
+    "PAPER",
+    "PipelineConfig",
+    "__version__",
+    "run_drapid",
+    "run_pipeline",
+]
+
+#: Facade names resolved lazily so ``import repro`` stays lightweight
+#: (the CLI and docs tools import the package without pulling numpy-heavy
+#: subpackages).
+_API_NAMES = ("PipelineConfig", "run_pipeline", "run_drapid")
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,10 +2,15 @@
 
 Subcommands mirror the pipeline stages a survey scientist would run:
 
-- ``generate``  — synthesize a survey and print its statistics
-- ``identify``  — run the full D-RAPID identification pipeline
-- ``classify``  — build a labeled benchmark and cross-validate a learner
-- ``simulate``  — replay an identification job on a configurable cluster
+- ``generate``     — synthesize a survey and print its statistics
+- ``identify``     — run the full D-RAPID identification pipeline
+- ``classify``     — build a labeled benchmark and cross-validate a learner
+- ``simulate``     — replay an identification job on a configurable cluster
+- ``trace-report`` — summarize an observability event log (``--trace-out``)
+
+The pipeline-running commands go through :mod:`repro.api` (the blessed
+facade); ``--trace-out PATH`` on ``identify``/``simulate`` writes a JSONL
+event log that ``trace-report`` (or :mod:`repro.obs`) can replay.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--observations", type=int, default=3)
     ident.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="2")
     ident.add_argument("--seed", type=int, default=0)
+    ident.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write an observability event log (JSONL) here")
 
     cls = sub.add_parser("classify", help="benchmark a learner")
     cls.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
@@ -65,7 +72,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--data-gb", type=float, default=10.2,
                      help="scale the workload to this many GB (paper: 10.2)")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write an observability event log (JSONL) here")
+
+    trace = sub.add_parser("trace-report",
+                           help="summarize an observability event log")
+    trace.add_argument("log", help="path to a JSONL event log (--trace-out)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
     return parser
+
+
+def _obs_session(trace_out: str | None):
+    """An enabled ObsSession writing to ``trace_out``, or None when unset."""
+    if trace_out is None:
+        return None
+    from repro.obs import ObsConfig, ObsSession
+
+    return ObsSession(ObsConfig(enabled=True, event_log_path=trace_out))
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -92,13 +116,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_identify(args: argparse.Namespace) -> int:
-    from repro.astro import synthesize_population
-    from repro.core.pipeline import SinglePulsePipeline
+    from repro.api import PipelineConfig, run_pipeline
 
-    pipeline = SinglePulsePipeline(survey=_survey(args.survey), scheme=args.scheme,
-                                   seed=args.seed)
-    population = synthesize_population(args.pulsars, seed=args.seed)
-    result = pipeline.run(population, n_observations=args.observations, classify=False)
+    session = _obs_session(args.trace_out)
+    config = PipelineConfig(
+        survey=args.survey, scheme=args.scheme, seed=args.seed,
+        n_pulsars=args.pulsars, n_observations=args.observations,
+        classify=False, obs_config=session,
+    )
+    result = run_pipeline(config)
+    if session is not None:
+        session.close()
+        print(f"trace written: {args.trace_out}")
     print(f"clusters searched: {result.drapid.n_clusters}")
     print(f"single pulses identified: {result.drapid.n_pulses}")
     print(f"  positives: {int(result.is_pulsar.sum())}")
@@ -145,11 +174,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.api import PipelineConfig, run_drapid
     from repro.astro import generate_observation, synthesize_population
-    from repro.core.drapid import DRapidDriver
     from repro.dfs import DataNode, DFSClient
-    from repro.io.spe_files import upload_observations
-    from repro.sparklet import ClusterConfig, SparkletContext, simulate_job
+    from repro.sparklet import ClusterConfig, simulate_job
 
     survey = _survey(args.survey)
     population = synthesize_population(8, seed=args.seed)
@@ -160,23 +188,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         for i in range(args.observations)
     ]
+    session = _obs_session(args.trace_out)
     dfs = DFSClient([DataNode(f"dn{i}") for i in range(15)], replication=3,
-                    block_size=64 * 1024)
-    data_path, cluster_path = upload_observations(dfs, observations)
-    ctx = SparkletContext(default_parallelism=8)
-    driver = DRapidDriver.with_paper_partitioning(
-        ctx, dfs, grids={survey.name: observations[0].grid},
-        total_cores=2 * max(args.executors),
-    )
-    result = driver.run(data_path, cluster_path)
-    data_scale = args.data_gb * 1024**3 / len(dfs.get(data_path))
+                    block_size=64 * 1024, obs=session)
+    config = PipelineConfig(survey=args.survey, seed=args.seed, obs_config=session)
+    result = run_drapid(config, observations, dfs=dfs,
+                        total_cores=2 * max(args.executors))
+    data_scale = args.data_gb * 1024**3 / len(dfs.get("/surveys/data.csv"))
     print(f"identified {result.n_pulses} pulses; replaying at {args.data_gb} GB scale:")
     for n in args.executors:
         run = simulate_job(result.metrics,
-                           ClusterConfig(num_executors=n, data_scale=data_scale))
+                           ClusterConfig(num_executors=n, data_scale=data_scale),
+                           obs=session)
         spill = (f", spilled {run.total_spilled_bytes / 1024**3:.1f} GiB"
                  if run.total_spilled_bytes else "")
         print(f"  {n:3d} executors: {run.elapsed_s:9.1f} s{spill}")
+    if session is not None:
+        session.close()
+        print(f"trace written: {args.trace_out}")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import build_report, render_json, render_text
+
+    report = build_report(args.log)
+    print(render_json(report) if args.json else render_text(report), end="")
     return 0
 
 
@@ -187,6 +224,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "identify": _cmd_identify,
         "classify": _cmd_classify,
         "simulate": _cmd_simulate,
+        "trace-report": _cmd_trace_report,
     }
     return handlers[args.command](args)
 

@@ -45,6 +45,6 @@ __all__ = [
     "find_single_pulses",
     "find_single_pulses_recursive",
     "label_instances",
-    "run_rapid_on_cluster",
     "run_rapid_observation",
+    "run_rapid_on_cluster",
 ]

@@ -322,7 +322,9 @@ class DRapidDriver:
         )
 
         ml_rows = searched.flat_map(lambda kv: kv[1].to_ml_lines()).cache()
-        ml_rows.save_as_text_file(self.dfs, ml_output_path)
+        obs = self.ctx.obs
+        with obs.tracer.span("drapid.production_job", output=ml_output_path):
+            ml_rows.save_as_text_file(self.dfs, ml_output_path)
 
         # Snapshot metrics and the dropped-row count now: the save above is
         # the production job (what Fig. 4 times); the collect/counts below
@@ -332,9 +334,15 @@ class DRapidDriver:
         metrics = self.ctx.all_job_metrics()
         n_dropped = int(dropped.value)
 
-        pulse_batch = PulseBatch.from_ml_lines(ml_rows.collect())
-        null_joins = joined.filter(lambda kv: kv[1][1] is None).count()
-        n_clusters = cluster_kvp.map(lambda kv: len(kv[1])).fold(0, lambda a, b: a + b)
+        with obs.tracer.span("drapid.diagnostics"):
+            pulse_batch = PulseBatch.from_ml_lines(ml_rows.collect())
+            null_joins = joined.filter(lambda kv: kv[1][1] is None).count()
+            n_clusters = cluster_kvp.map(lambda kv: len(kv[1])).fold(
+                0, lambda a, b: a + b
+            )
+        if obs.enabled:
+            obs.registry.counter("drapid.pulses").inc(len(pulse_batch))
+            obs.registry.counter("drapid.clusters").inc(n_clusters)
 
         return DRapidResult(
             pulse_batch=pulse_batch,

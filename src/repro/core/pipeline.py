@@ -11,6 +11,7 @@ detection; stage 1 here generates exactly that intermediate product.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -25,10 +26,12 @@ from repro.core.search import SearchParams
 from repro.dataplane import PulseBatch
 from repro.dfs import DataNode, DFSClient
 from repro.io.spe_files import read_ml_batch, upload_observations
+from repro.obs.session import ObsSession
 from repro.sparklet.context import SparkletContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ml.metrics import ClassificationReport
+    from repro.obs import ObsConfig
     from repro.sparklet.faults import FaultConfig
 
 
@@ -45,6 +48,9 @@ class PipelineResult:
     labels: np.ndarray
     scheme: AlmScheme
     report: "ClassificationReport | None" = None
+    #: The run's observability session (``NULL_OBS`` when disabled); its
+    #: event log replays into the same metrics the run recorded live.
+    obs: ObsSession | None = None
 
     @property
     def pulses(self) -> list[SinglePulse]:
@@ -65,10 +71,31 @@ class SinglePulsePipeline:
     #: Optional chaos knob, forwarded to the D-RAPID driver: stage 3 then
     #: runs under seeded fault injection (results are unchanged by design).
     fault_config: "FaultConfig | None" = None
+    #: Observability: an ObsConfig (or a shared ObsSession) wires one event
+    #: log + span tree + registry through every layer the run touches.
+    obs_config: "ObsConfig | ObsSession | None" = None
+    #: Set by :meth:`from_config` (the ``repro.api`` path).  Direct
+    #: construction still works but is deprecated in favour of
+    #: ``repro.api.run_pipeline``.
+    _api_construction: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if isinstance(self.scheme, str):
             self.scheme = ALM_SCHEMES[self.scheme]
+        self._obs = ObsSession.from_config(self.obs_config)
+        if not self._api_construction:
+            warnings.warn(
+                "Constructing SinglePulsePipeline directly is deprecated; "
+                "use repro.api.run_pipeline(PipelineConfig(...)) or "
+                "SinglePulsePipeline.from_config(...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    @classmethod
+    def from_config(cls, **kwargs) -> "SinglePulsePipeline":
+        """Blessed constructor used by :mod:`repro.api` (no deprecation)."""
+        return cls(_api_construction=True, **kwargs)
 
     # -- stage 1+2 ---------------------------------------------------------
     def generate(self, pulsars: list[Pulsar], n_observations: int = 4,
@@ -99,9 +126,11 @@ class SinglePulsePipeline:
     ) -> DRapidResult:
         """Upload inputs to the DFS and run D-RAPID."""
         if dfs is None:
-            dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2)
+            dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
+                            obs=self._obs)
         if ctx is None:
-            ctx = SparkletContext(app_name="drapid", default_parallelism=4)
+            ctx = SparkletContext(app_name="drapid", default_parallelism=4,
+                                  obs=self._obs)
         data_path, cluster_path = upload_observations(dfs, observations)
         grids = {self.survey.name: observations[0].grid} if observations else {}
         driver = DRapidDriver(
@@ -137,9 +166,15 @@ class SinglePulsePipeline:
         self, pulsars: list[Pulsar], n_observations: int = 4, classify: bool = True
     ) -> PipelineResult:
         """Execute all four stages; stage 4 trains a RandomForest."""
-        observations = self.generate(pulsars, n_observations)
-        drapid = self.identify(observations)
-        features, is_pulsar, is_rrat, labels = self.to_benchmark(drapid.pulse_batch)
+        obs = self._obs
+        with obs.tracer.span("pipeline.generate", n_observations=n_observations):
+            observations = self.generate(pulsars, n_observations)
+        with obs.tracer.span("pipeline.identify"):
+            drapid = self.identify(observations)
+        with obs.tracer.span("pipeline.benchmark"):
+            features, is_pulsar, is_rrat, labels = self.to_benchmark(
+                drapid.pulse_batch
+            )
         report = None
         if classify:
             # Imported lazily: stage 4 is optional and repro.ml is a large
@@ -148,14 +183,19 @@ class SinglePulsePipeline:
             from repro.ml.validation import cross_validate
 
             assert isinstance(self.scheme, AlmScheme)
-            report = cross_validate(
-                lambda: RandomForest(n_trees=15, seed=0),
-                features,
-                labels,
-                n_folds=3,
-                positive_collapse=self.scheme,
-                seed=self.seed,
-            )
+            with obs.tracer.span("pipeline.classify", scheme=self.scheme.name):
+                report = cross_validate(
+                    lambda: RandomForest(n_trees=15, seed=0),
+                    features,
+                    labels,
+                    n_folds=3,
+                    positive_collapse=self.scheme,
+                    seed=self.seed,
+                )
+        if obs.enabled:
+            obs.registry.counter("pipeline.runs").inc()
+            obs.registry.counter("pipeline.pulses").inc(drapid.n_pulses)
+            obs.flush()
         return PipelineResult(
             observations=observations,
             drapid=drapid,
@@ -165,4 +205,5 @@ class SinglePulsePipeline:
             labels=labels,
             scheme=self.scheme,  # type: ignore[arg-type]
             report=report,
+            obs=obs if obs.enabled else None,
         )

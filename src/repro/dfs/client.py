@@ -4,11 +4,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.dfs.blocks import DEFAULT_BLOCK_SIZE, Block, BlockId, split_into_blocks
 from repro.dfs.datanode import DataNode, DataNodeFullError
 from repro.dfs.namenode import NameNode
+from repro.obs import events as obs_events
+from repro.obs.session import ObsSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import ObsConfig
 
 
 class DFSError(RuntimeError):
@@ -47,6 +52,10 @@ class DFSClient:
         Chunking granularity in bytes.
     seed:
         Seeds the placement RNG so tests are deterministic.
+    obs:
+        Optional :class:`~repro.obs.ObsConfig` or shared
+        :class:`~repro.obs.ObsSession`; DFS activity (puts, deletes,
+        heartbeats, node deaths, re-replication) lands in its event log.
     """
 
     def __init__(
@@ -55,11 +64,13 @@ class DFSClient:
         replication: int = 3,
         block_size: int = DEFAULT_BLOCK_SIZE,
         seed: int | None = 0,
+        obs: "ObsConfig | ObsSession | None" = None,
     ) -> None:
         if not datanodes:
             raise ValueError("need at least one datanode")
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
+        self.obs = ObsSession.from_config(obs)
         self.namenode = NameNode()
         self._nodes: dict[str, DataNode] = {}
         for node in datanodes:
@@ -118,6 +129,10 @@ class DFSClient:
         for block, targets in stored:
             for node_id in targets:
                 self.namenode.add_replica(block.block_id, node_id)
+        if self.obs.enabled:
+            self.obs.emit(obs_events.DFS_PUT, path=path, n_bytes=len(payload),
+                          n_blocks=len(stored), replication=effective)
+            self.obs.registry.counter("dfs.bytes_written").inc(len(payload))
 
     def put_text(self, path: str, text: str) -> None:
         self.put(path, text.encode("utf-8"))
@@ -156,6 +171,9 @@ class DFSClient:
                 if node is not None:
                     node.drop(bid)
         self.namenode.delete_file(path)
+        if self.obs.enabled:
+            self.obs.emit(obs_events.DFS_DELETE, path=path,
+                          n_blocks=len(entry.block_ids))
 
     def ls(self, prefix: str = "") -> list[str]:
         return self.namenode.list_files(prefix)
@@ -175,6 +193,9 @@ class DFSClient:
         node.kill()
         self.namenode.forget_node(node_id)
         self.namenode.forget_heartbeat(node_id)
+        if self.obs.enabled:
+            self.obs.emit(obs_events.DFS_NODE_DEAD, node_id=node_id, cause="killed")
+            self.obs.registry.counter("dfs.nodes_dead").inc()
         self.rereplicate()
 
     def heartbeat_tick(self, now: float, timeout: float = 30.0) -> HeartbeatReport:
@@ -199,12 +220,23 @@ class DFSClient:
                     else:
                         node.drop(bid)
                 registered.append(node.node_id)
+                if self.obs.enabled:
+                    self.obs.emit(obs_events.DFS_BLOCK_REPORT, node_id=node.node_id,
+                                  n_blocks=len(list(node.block_ids())))
             self.namenode.record_heartbeat(node.node_id, now)
         dead = self.namenode.expired_nodes(now, timeout)
         for node_id in dead:
             self.namenode.forget_node(node_id)
             self.namenode.forget_heartbeat(node_id)
+            if self.obs.enabled:
+                self.obs.emit(obs_events.DFS_NODE_DEAD, node_id=node_id,
+                              cause="heartbeat_timeout")
+                self.obs.registry.counter("dfs.nodes_dead").inc()
         fixed = self.rereplicate()
+        if self.obs.enabled:
+            self.obs.emit(obs_events.DFS_HEARTBEAT, now=now,
+                          n_live=len(self._live_nodes()),
+                          declared_dead=list(dead), replicas_restored=fixed)
         return HeartbeatReport(
             now=now,
             declared_dead=tuple(dead),
@@ -232,6 +264,9 @@ class DFSClient:
                     continue
                 self.namenode.add_replica(bid, node_id)
                 fixed += 1
+        if fixed and self.obs.enabled:
+            self.obs.emit(obs_events.DFS_REREPLICATE, restored=fixed)
+            self.obs.registry.counter("dfs.replicas_restored").inc(fixed)
         return fixed
 
     def total_stored_bytes(self) -> int:

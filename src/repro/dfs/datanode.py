@@ -26,6 +26,9 @@ class DataNode:
         self._blocks: dict[BlockId, Block] = {}
         self._used = 0
         self.alive = True
+        #: Lifetime IO counters (surfaced in observability reports).
+        self.n_reads = 0
+        self.n_writes = 0
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -54,14 +57,17 @@ class DataNode:
             )
         self._blocks[block.block_id] = block
         self._used += block.size
+        self.n_writes += 1
 
     def read(self, block_id: BlockId) -> Block:
         if not self.alive:
             raise RuntimeError(f"datanode {self.node_id} is down")
         try:
-            return self._blocks[block_id]
+            block = self._blocks[block_id]
         except KeyError:
             raise KeyError(f"datanode {self.node_id} has no block {block_id}") from None
+        self.n_reads += 1
+        return block
 
     def drop(self, block_id: BlockId) -> None:
         block = self._blocks.pop(block_id, None)

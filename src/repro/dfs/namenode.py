@@ -114,3 +114,13 @@ class NameNode:
     def forget_heartbeat(self, node_id: str) -> None:
         """Stop tracking a node (declared dead or decommissioned)."""
         self._heartbeats.pop(node_id, None)
+
+    # -- introspection -------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Namespace counts for observability reports (no payload data)."""
+        return {
+            "n_files": len(self._files),
+            "n_blocks": len(self._locations),
+            "n_replicas": sum(len(nodes) for nodes in self._locations.values()),
+            "n_tracked_nodes": len(self._heartbeats),
+        }

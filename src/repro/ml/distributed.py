@@ -70,7 +70,14 @@ class DistributedRandomForest:
 
         seeds = [base_seed + 1000003 * i for i in range(self.n_trees)]
         rdd = self.ctx.parallelize(seeds, num_partitions=self.n_trees)
-        self._forests = rdd.map(train_one).collect()
+        obs = self.ctx.obs
+        if obs.enabled:
+            with obs.tracer.span("ml.fit_forest", n_trees=self.n_trees,
+                                 n_rows=int(X.shape[0])):
+                self._forests = rdd.map(train_one).collect()
+            obs.registry.counter("ml.trees_trained").inc(self.n_trees)
+        else:
+            self._forests = rdd.map(train_one).collect()
         # The collected single-tree forests may predict fewer classes if a
         # bootstrap missed the top label; normalize the class count.
         for forest in self._forests:

@@ -1,0 +1,123 @@
+"""Replay reader: reconstruct Job/Stage/Task metrics from the event log.
+
+This is the Spark-history-server property: everything the live
+:class:`~repro.sparklet.scheduler.DAGScheduler` accumulates in
+``job_history`` can be rebuilt from the JSONL event stream alone,
+*byte-identically* (the test suite compares JSON serializations of the live
+and replayed metrics, and a hypothesis property sweeps random fault
+configurations).
+
+Reconstruction rules, mirroring how the scheduler builds its records:
+
+- ``job_start``/``job_end`` frame one job; stages belong to the innermost
+  open job.
+- ``stage_start`` opens one *stage execution* (a ``StageMetrics`` record),
+  uniquely keyed by ``(stage_id, attempt)`` — recomputation waves re-run a
+  stage with a bumped attempt, and waves can nest inside another stage's
+  task (lineage recovery), so events interleave.
+- ``task_end`` appends a completed task to its stage execution.
+- ``task_failure`` increments the failure counter named by its ``kind`` on
+  the stage execution whose task was running.
+- ``stage_end`` seals the stage execution and appends it to the current
+  job, preserving the scheduler's completion-order semantics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import (
+    JOB_END,
+    JOB_START,
+    STAGE_END,
+    STAGE_START,
+    TASK_END,
+    TASK_FAILURE,
+    read_events,
+)
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
+
+#: task_failure ``kind`` → StageMetrics counter attribute.
+_FAILURE_COUNTERS = {
+    "task_crash": "n_task_failures",
+    "executor_loss": "n_executor_lost",
+    "fetch_failure": "n_fetch_failures",
+}
+
+
+class ReplayError(ValueError):
+    """The event stream is inconsistent (missing frame, unknown stage, ...)."""
+
+
+def replay_job_metrics(source: str | Path | Iterable[dict]) -> list[JobMetrics]:
+    """Rebuild the scheduler's ``job_history`` from an event log.
+
+    ``source`` is a JSONL path or an iterable of event dicts.  Events not in
+    the job/stage/task vocabulary (spans, DFS, simulator, faults) are
+    ignored, so one unified log replays cleanly.
+    """
+    events = read_events(source)
+    jobs: list[JobMetrics] = []
+    open_jobs: list[JobMetrics] = []
+    open_stages: dict[tuple[int, int], StageMetrics] = {}
+
+    for ev in events:
+        etype = ev.get("type")
+        if etype == JOB_START:
+            open_jobs.append(JobMetrics(job_id=ev["job_id"]))
+        elif etype == JOB_END:
+            if not open_jobs:
+                raise ReplayError(f"job_end without job_start: {ev}")
+            jobs.append(open_jobs.pop())
+        elif etype == STAGE_START:
+            key = (ev["stage_id"], ev["attempt"])
+            if key in open_stages:
+                raise ReplayError(f"stage execution {key} opened twice")
+            open_stages[key] = StageMetrics(
+                stage_id=ev["stage_id"],
+                name=ev["name"],
+                is_shuffle_map=ev["is_shuffle_map"],
+                attempt=ev["attempt"],
+            )
+        elif etype == TASK_END:
+            sm = _stage_of(open_stages, ev)
+            sm.tasks.append(TaskMetrics.from_dict(ev["task"]))
+        elif etype == TASK_FAILURE:
+            sm = _stage_of(open_stages, ev)
+            counter = _FAILURE_COUNTERS.get(ev["kind"])
+            if counter is None:
+                raise ReplayError(f"unknown failure kind {ev['kind']!r}")
+            setattr(sm, counter, getattr(sm, counter) + 1)
+        elif etype == STAGE_END:
+            key = (ev["stage_id"], ev["attempt"])
+            sm = open_stages.pop(key, None)
+            if sm is None:
+                raise ReplayError(f"stage_end for unopened stage execution {key}")
+            if not open_jobs:
+                raise ReplayError(f"stage_end outside any job: {ev}")
+            open_jobs[-1].stages.append(sm)
+
+    if open_jobs or open_stages:
+        raise ReplayError(
+            f"truncated log: {len(open_jobs)} open job(s), "
+            f"{len(open_stages)} open stage execution(s)"
+        )
+    return jobs
+
+
+def _stage_of(open_stages: dict, ev: dict) -> StageMetrics:
+    key = (ev["stage_id"], ev["attempt"])
+    sm = open_stages.get(key)
+    if sm is None:
+        raise ReplayError(f"event for unopened stage execution {key}: {ev}")
+    return sm
+
+
+def replay_all_job_metrics(source: str | Path | Iterable[dict]) -> JobMetrics:
+    """All replayed stages merged into one record, mirroring
+    :meth:`~repro.sparklet.context.SparkletContext.all_job_metrics`."""
+    merged = JobMetrics(job_id=-1)
+    for job in replay_job_metrics(source):
+        merged.stages.extend(job.stages)
+    return merged

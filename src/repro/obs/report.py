@@ -1,0 +1,271 @@
+"""Report renderer: turn an event log into human/machine-readable summaries.
+
+Produces the run views the paper's analysis needs (and Spark's UI would
+show): per-stage timelines, task-skew histograms, straggler and
+blacklist/executor-loss summaries, fault-injection and DFS activity counts,
+and the span tree.  Usable programmatically (:func:`build_report`) or from
+the CLI (``python -m repro trace-report <run.jsonl>``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.events import (
+    DFS_HEARTBEAT,
+    DFS_PUT,
+    DFS_REREPLICATE,
+    EXECUTOR_BLACKLISTED,
+    EXECUTOR_LOST,
+    FAULT_INJECTED,
+    SIM_STAGE,
+    SPAN_END,
+    SPAN_START,
+    read_events,
+)
+from repro.obs.replay import replay_job_metrics
+
+#: Fixed bucket edges for the task-skew histogram: task duration divided by
+#: its stage's mean duration.  1.0 is a perfectly balanced stage; the paper's
+#: task-skew "knees" show up as mass beyond 2x.
+SKEW_EDGES: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+
+def _table(headers: list[str], rows: list[list[Any]]) -> str:
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for r_i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r_i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
+    """Aggregate an event log into a JSON-able report dict."""
+    events = read_events(source)
+    jobs = replay_job_metrics(events)
+
+    # -- per-stage timeline ------------------------------------------------
+    stages: list[dict[str, Any]] = []
+    all_tasks: list[tuple[str, Any]] = []  # (stage label, TaskMetrics)
+    skew_counts = [0] * (len(SKEW_EDGES) + 1)
+    for job in jobs:
+        for sm in job.stages:
+            n = len(sm.tasks)
+            total = sm.total_task_seconds
+            longest = sm.max_task_seconds
+            mean = total / n if n else 0.0
+            label = f"{sm.stage_id}.{sm.attempt}"
+            stages.append(
+                {
+                    "job_id": job.job_id,
+                    "stage": label,
+                    "name": sm.name,
+                    "kind": "map" if sm.is_shuffle_map else "result",
+                    "n_tasks": n,
+                    "total_task_s": total,
+                    "max_task_s": longest,
+                    "skew": longest / mean if mean > 0 else 0.0,
+                    "shuffle_read_b": sum(t.shuffle_read_bytes for t in sm.tasks),
+                    "shuffle_write_b": sm.total_shuffle_write,
+                    "failures": sm.n_task_failures + sm.n_executor_lost + sm.n_fetch_failures,
+                }
+            )
+            for t in sm.tasks:
+                all_tasks.append((label, t))
+                if mean > 0:
+                    ratio = t.duration_s / mean
+                    idx = next(
+                        (i for i, e in enumerate(SKEW_EDGES) if ratio <= e),
+                        len(SKEW_EDGES),
+                    )
+                    skew_counts[idx] += 1
+
+    # -- stragglers --------------------------------------------------------
+    slowest = sorted(all_tasks, key=lambda lt: lt[1].duration_s, reverse=True)[:5]
+    stragglers = [
+        {
+            "stage": label,
+            "partition": t.partition,
+            "duration_s": t.duration_s,
+            "attempts": t.attempts,
+            "executor_id": t.executor_id,
+        }
+        for label, t in slowest
+    ]
+
+    # -- executor / fault / dfs activity -----------------------------------
+    lost = [e for e in events if e["type"] == EXECUTOR_LOST]
+    blacklisted = [e for e in events if e["type"] == EXECUTOR_BLACKLISTED]
+    faults: dict[str, int] = {}
+    for e in events:
+        if e["type"] == FAULT_INJECTED:
+            faults[e["kind"]] = faults.get(e["kind"], 0) + 1
+    dfs = {
+        "puts": sum(1 for e in events if e["type"] == DFS_PUT),
+        "bytes_written": sum(e.get("n_bytes", 0) for e in events if e["type"] == DFS_PUT),
+        "heartbeats": sum(1 for e in events if e["type"] == DFS_HEARTBEAT),
+        "replicas_restored": sum(
+            e.get("restored", 0) for e in events if e["type"] == DFS_REREPLICATE
+        ),
+    }
+
+    # -- span tree ---------------------------------------------------------
+    durations = {
+        e["span_id"]: (e.get("duration_s", 0.0), e.get("status", "ok"))
+        for e in events
+        if e["type"] == SPAN_END
+    }
+    spans = []
+    depth: dict[str | None, int] = {None: -1}
+    for e in events:
+        if e["type"] != SPAN_START:
+            continue
+        d = depth.get(e.get("parent_id"), -1) + 1
+        depth[e["span_id"]] = d
+        dur, status = durations.get(e["span_id"], (0.0, "open"))
+        spans.append(
+            {
+                "depth": d,
+                "name": e["name"],
+                "span_id": e["span_id"],
+                "duration_s": dur,
+                "status": status,
+            }
+        )
+
+    sim_stages = [
+        {k: e[k] for k in ("stage_id", "name", "makespan_s", "spilled_bytes") if k in e}
+        for e in events
+        if e["type"] == SIM_STAGE
+    ]
+
+    return {
+        "summary": {
+            "n_events": len(events),
+            "n_jobs": len(jobs),
+            "n_stage_executions": len(stages),
+            "n_tasks": len(all_tasks),
+            "total_task_s": sum(t.duration_s for _l, t in all_tasks),
+            "n_task_failures": sum(j.n_task_failures for j in jobs),
+            "n_executor_lost": sum(j.n_executor_lost for j in jobs),
+            "n_fetch_failures": sum(j.n_fetch_failures for j in jobs),
+            "n_recomputed_stages": sum(j.n_recomputed_stages for j in jobs),
+        },
+        "stages": stages,
+        "task_skew_histogram": {
+            "edges": list(SKEW_EDGES),
+            "counts": skew_counts[:-1],
+            "overflow": skew_counts[-1],
+        },
+        "stragglers": stragglers,
+        "executors": {
+            "lost": [e.get("executor_id", "?") for e in lost],
+            "blacklisted": [e.get("executor_id", "?") for e in blacklisted],
+        },
+        "faults_injected": faults,
+        "dfs": dfs,
+        "spans": spans,
+        "sim_stages": sim_stages,
+    }
+
+
+def render_text(report: dict[str, Any]) -> str:
+    """Fixed-width text rendering of :func:`build_report` output."""
+    out: list[str] = []
+    s = report["summary"]
+    out.append("== run summary ==")
+    out.append(
+        f"events={s['n_events']}  jobs={s['n_jobs']}  "
+        f"stage-executions={s['n_stage_executions']}  tasks={s['n_tasks']}  "
+        f"task-seconds={s['total_task_s']:.4f}"
+    )
+    out.append(
+        f"failures: task={s['n_task_failures']}  executor={s['n_executor_lost']}  "
+        f"fetch={s['n_fetch_failures']}  recomputed-stages={s['n_recomputed_stages']}"
+    )
+
+    if report["stages"]:
+        out.append("\n== stage timeline ==")
+        out.append(
+            _table(
+                ["job", "stage", "name", "kind", "tasks", "total s", "max s",
+                 "skew", "shuf R", "shuf W", "fail"],
+                [
+                    [r["job_id"], r["stage"], r["name"][:36], r["kind"], r["n_tasks"],
+                     r["total_task_s"], r["max_task_s"], r["skew"],
+                     r["shuffle_read_b"], r["shuffle_write_b"], r["failures"]]
+                    for r in report["stages"]
+                ],
+            )
+        )
+
+    hist = report["task_skew_histogram"]
+    if sum(hist["counts"]) + hist["overflow"] > 0:
+        out.append("\n== task skew (duration / stage mean) ==")
+        labels = [f"<={e}" for e in hist["edges"]] + [f">{hist['edges'][-1]}"]
+        counts = hist["counts"] + [hist["overflow"]]
+        peak = max(counts) or 1
+        for label, count in zip(labels, counts):
+            bar = "#" * round(30 * count / peak)
+            out.append(f"  {label:>7s}  {count:6d}  {bar}")
+
+    if report["stragglers"]:
+        out.append("\n== slowest tasks ==")
+        out.append(
+            _table(
+                ["stage", "partition", "duration s", "attempts", "executor"],
+                [[r["stage"], r["partition"], r["duration_s"], r["attempts"],
+                  r["executor_id"]] for r in report["stragglers"]],
+            )
+        )
+
+    ex = report["executors"]
+    if ex["lost"] or ex["blacklisted"]:
+        out.append("\n== executors ==")
+        out.append(f"lost: {', '.join(ex['lost']) or '-'}")
+        out.append(f"blacklisted: {', '.join(ex['blacklisted']) or '-'}")
+
+    if report["faults_injected"]:
+        out.append("\n== injected faults ==")
+        for kind, count in sorted(report["faults_injected"].items()):
+            out.append(f"  {kind}: {count}")
+
+    if report["dfs"]["puts"] or report["dfs"]["heartbeats"]:
+        d = report["dfs"]
+        out.append("\n== dfs ==")
+        out.append(
+            f"puts={d['puts']}  bytes={d['bytes_written']}  "
+            f"heartbeats={d['heartbeats']}  replicas-restored={d['replicas_restored']}"
+        )
+
+    if report["spans"]:
+        out.append("\n== span tree ==")
+        for sp in report["spans"]:
+            out.append(
+                f"  {'  ' * sp['depth']}{sp['name']}  "
+                f"[{sp['duration_s']:.4f}s {sp['status']}]"
+            )
+
+    if report["sim_stages"]:
+        out.append("\n== simulated stages ==")
+        out.append(
+            _table(
+                ["stage", "name", "makespan s", "spilled B"],
+                [[r.get("stage_id", "?"), r.get("name", "?")[:36],
+                  r.get("makespan_s", 0.0), r.get("spilled_bytes", 0.0)]
+                 for r in report["sim_stages"]],
+            )
+        )
+
+    return "\n".join(out) + "\n"
+
+
+def render_json(report: dict[str, Any]) -> str:
+    return json.dumps(report, indent=2) + "\n"

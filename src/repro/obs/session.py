@@ -1,0 +1,103 @@
+"""ObsSession: the live bundle of event log + tracer + metrics registry.
+
+One session is shared by every subsystem participating in a run (the
+pipeline creates it from its ``obs_config`` and hands it to the Sparklet
+context and the DFS client), so all events land in a single ordered log and
+all spans form a single tree.
+
+The disabled path is a singleton (:data:`NULL_OBS`) whose ``enabled`` flag
+is False; hot paths guard with ``if obs.enabled:`` so the disabled cost is
+one attribute load — the observability benchmark holds this under 2%
+end to end.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, ContextManager
+
+from repro.obs.config import ObsConfig
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer
+
+
+class _NullTracer:
+    """Tracer stand-in whose spans are free."""
+
+    spans: list = []
+
+    def span(self, name: str, **attrs: Any) -> ContextManager[None]:
+        return nullcontext()
+
+    def tree(self) -> list:
+        return []
+
+
+class ObsSession:
+    """Everything a subsystem needs to observe itself."""
+
+    __slots__ = ("enabled", "config", "log", "tracer", "registry")
+
+    def __init__(
+        self,
+        config: ObsConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ObsConfig()
+        self.enabled = self.config.enabled
+        if self.enabled:
+            self.log = EventLog(self.config.event_log_path, keep=self.config.keep_events)
+            self.tracer: Tracer | _NullTracer = Tracer(self.config.trace_seed, log=self.log)
+            if registry is not None:
+                self.registry = registry
+            elif self.config.use_global_registry:
+                self.registry = get_registry()
+            else:
+                self.registry = MetricsRegistry()
+        else:
+            self.log = None  # type: ignore[assignment]
+            self.tracer = _NULL_TRACER
+            self.registry = _NULL_REGISTRY
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, etype: str, **fields: Any) -> None:
+        """Append one structured event (no-op when disabled)."""
+        if self.enabled:
+            self.log.emit(etype, **fields)
+
+    def events(self) -> list[dict[str, Any]]:
+        """In-memory event list (empty when disabled)."""
+        return self.log.events if self.enabled else []
+
+    def flush(self) -> None:
+        if self.enabled:
+            self.log.flush()
+
+    def close(self) -> None:
+        if self.enabled:
+            self.log.close()
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: "ObsConfig | ObsSession | None") -> "ObsSession":
+        """Build a session, passing through an existing one unchanged.
+
+        Accepting a session lets composed subsystems (pipeline → context →
+        scheduler; pipeline → DFS client) share a single event stream.
+        ``None`` and disabled configs return the :data:`NULL_OBS` singleton,
+        so the disabled path allocates nothing.
+        """
+        if isinstance(config, ObsSession):
+            return config
+        if config is None or not config.enabled:
+            return NULL_OBS
+        return cls(config)
+
+
+_NULL_TRACER = _NullTracer()
+_NULL_REGISTRY = MetricsRegistry()
+
+#: The shared disabled session.  Its registry is a private always-empty-ish
+#: sink: nothing guards writes into it because nothing writes when disabled.
+NULL_OBS = ObsSession(ObsConfig(enabled=False))

@@ -66,7 +66,7 @@ class Container:
 class ResourceManager:
     """Grants executor containers across nodes, round-robin least-loaded."""
 
-    def __init__(self, nodes: list[NodeCapacity]) -> None:
+    def __init__(self, nodes: list[NodeCapacity], obs=None) -> None:
         if not nodes:
             raise ValueError("cluster needs at least one node")
         self.nodes = {n.node_id: n for n in nodes}
@@ -76,6 +76,9 @@ class ResourceManager:
         #: container_id -> Container.  Keyed for O(1) release; the public
         #: ``granted`` property preserves the old list view (grant order).
         self._granted: dict[int, Container] = {}
+        #: Optional ObsSession; grants/releases/decommissions are published.
+        #: Duck-typed so this module has no obs import dependency.
+        self.obs = obs
 
     @property
     def granted(self) -> list[Container]:
@@ -106,6 +109,12 @@ class ResourceManager:
             self._next_container += 1
             self._granted[container.container_id] = container
             grants.append(container)
+            if self.obs is not None and self.obs.enabled:
+                self.obs.emit(
+                    "container_granted", container_id=container.container_id,
+                    node_id=node.node_id, vcores=spec.vcores,
+                    memory_mb=spec.memory_mb,
+                )
         return grants
 
     def release(self, container: Container) -> None:
@@ -116,6 +125,11 @@ class ResourceManager:
             )
         del self._granted[container.container_id]
         self.nodes[container.node_id].release(container.spec)
+        if self.obs is not None and self.obs.enabled:
+            self.obs.emit(
+                "container_released", container_id=container.container_id,
+                node_id=container.node_id,
+            )
 
     def release_all(self) -> None:
         for container in self.granted:
@@ -136,6 +150,10 @@ class ResourceManager:
         for container in evicted:
             self.release(container)
         node.unschedulable = True
+        if self.obs is not None and self.obs.enabled:
+            self.obs.emit(
+                "node_decommissioned", node_id=node_id, n_evicted=len(evicted)
+            )
         return evicted
 
 

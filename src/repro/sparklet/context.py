@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
+from repro.obs.session import ObsSession
 from repro.sparklet.metrics import JobMetrics
 from repro.sparklet.rdd import ParallelCollectionRDD, RDD, TextFileRDD
 from repro.sparklet.scheduler import DAGScheduler, Runtime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfs import DFSClient
+    from repro.obs import ObsConfig
     from repro.sparklet.faults import FaultConfig, FaultInjector
 
 
@@ -24,12 +26,16 @@ class SparkletContext:
 
     def __init__(self, app_name: str = "sparklet", default_parallelism: int = 4,
                  max_task_retries: int = 3, num_executors: int = 4,
-                 fault_config: "FaultConfig | None" = None) -> None:
+                 fault_config: "FaultConfig | None" = None,
+                 obs: "ObsConfig | ObsSession | None" = None) -> None:
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         self.app_name = app_name
         self.default_parallelism = default_parallelism
-        self.runtime = Runtime(num_executors=num_executors)
+        #: Observability session; an existing ObsSession is shared (one event
+        #: stream per run), an ObsConfig builds a fresh one, None is a no-op.
+        self.obs = ObsSession.from_config(obs)
+        self.runtime = Runtime(num_executors=num_executors, obs=self.obs)
         self.scheduler = DAGScheduler(self.runtime, max_task_retries=max_task_retries)
         self._rdd_counter = 0
         self._shuffle_counter = 0
@@ -40,7 +46,7 @@ class SparkletContext:
         """Arm the seeded rule-driven fault injector for subsequent jobs."""
         from repro.sparklet.faults import FaultInjector
 
-        injector = FaultInjector(config)
+        injector = FaultInjector(config, obs=self.obs)
         self.runtime.fault_injector = injector
         self.scheduler.blacklist_threshold = config.max_failures_per_executor
         return injector

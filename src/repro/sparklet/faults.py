@@ -120,11 +120,14 @@ class FaultInjector:
     control flow differs only in *which* rule fired.
     """
 
-    def __init__(self, config: FaultConfig) -> None:
+    def __init__(self, config: FaultConfig, obs=None) -> None:
         self.config = config
         self._rng = random.Random(config.seed)
         self._fires: dict[int, int] = {i: 0 for i in range(len(config.rules))}
         self.events: list[InjectedFault] = []
+        #: Optional ObsSession; fired rules are published as fault_injected
+        #: events.  Kept duck-typed so this module stays import-light.
+        self.obs = obs
 
     @property
     def total_fired(self) -> int:
@@ -157,6 +160,12 @@ class FaultInjector:
             self.events.append(
                 InjectedFault(rule.kind, stage_id, partition, attempt, executor_id)
             )
+            if self.obs is not None and self.obs.enabled:
+                self.obs.emit(
+                    "fault_injected", kind=rule.kind, stage_id=stage_id,
+                    partition=partition, attempt=attempt, executor_id=executor_id,
+                )
+                self.obs.registry.counter(f"faults.injected.{rule.kind}").inc()
             if rule.kind == TASK_CRASH:
                 raise TaskFailure(
                     f"injected crash: stage {stage_id} partition {partition} attempt {attempt}"

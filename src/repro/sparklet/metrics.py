@@ -116,6 +116,33 @@ class TaskMetrics:
     #: Executor the successful attempt ran on (fault-tolerance bookkeeping).
     executor_id: str = ""
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload carried by ``task_end`` events.
+
+        Floats survive a JSON round-trip exactly (shortest-repr encoding),
+        which is what makes event-log replay byte-identical.
+        """
+        return {
+            "stage_id": self.stage_id,
+            "partition": self.partition,
+            "duration_s": self.duration_s,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "shuffle_read_bytes": self.shuffle_read_bytes,
+            "shuffle_write_bytes": self.shuffle_write_bytes,
+            "locality": list(self.locality),
+            "attempts": self.attempts,
+            "executor_id": self.executor_id,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TaskMetrics":
+        d = dict(d)
+        d["locality"] = tuple(d.get("locality", ()))
+        return cls(**d)
+
 
 @dataclass
 class StageMetrics:
@@ -132,6 +159,24 @@ class StageMetrics:
     n_task_failures: int = 0
     n_executor_lost: int = 0
     n_fetch_failures: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage_id": self.stage_id,
+            "name": self.name,
+            "tasks": [t.to_dict() for t in self.tasks],
+            "is_shuffle_map": self.is_shuffle_map,
+            "attempt": self.attempt,
+            "n_task_failures": self.n_task_failures,
+            "n_executor_lost": self.n_executor_lost,
+            "n_fetch_failures": self.n_fetch_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "StageMetrics":
+        d = dict(d)
+        d["tasks"] = [TaskMetrics.from_dict(t) for t in d.get("tasks", [])]
+        return cls(**d)
 
     @property
     def total_task_seconds(self) -> float:
@@ -156,6 +201,16 @@ class JobMetrics:
 
     job_id: int
     stages: list[StageMetrics] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"job_id": self.job_id, "stages": [s.to_dict() for s in self.stages]}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "JobMetrics":
+        return cls(
+            job_id=d["job_id"],
+            stages=[StageMetrics.from_dict(s) for s in d.get("stages", [])],
+        )
 
     @property
     def total_task_seconds(self) -> float:

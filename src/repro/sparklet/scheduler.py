@@ -31,8 +31,11 @@ installed via ``fault_config``.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Iterator
 
+from repro.obs import events as obs_events
+from repro.obs.session import NULL_OBS, ObsSession
 from repro.sparklet.faults import (
     ExecutorLostFailure,
     ExecutorPool,
@@ -62,8 +65,12 @@ __all__ = [
 class Runtime:
     """Per-context mutable execution state shared by tasks."""
 
-    def __init__(self, num_executors: int = 4) -> None:
+    def __init__(self, num_executors: int = 4, obs: ObsSession = NULL_OBS) -> None:
         self.shuffle = ShuffleManager()
+        #: Observability session shared with the owning context.  The
+        #: disabled singleton makes every emit a no-op behind one attribute
+        #: check (< 2% end-to-end, asserted by bench_observability).
+        self.obs = obs
         self.cache: dict[tuple[int, int], list[Any]] = {}
         #: Optional hook: f(stage_id, partition, attempt) may raise TaskFailure.
         self.failure_injector: Callable[[int, int, int], None] | None = None
@@ -184,6 +191,9 @@ class DAGScheduler:
         final_stage = self._new_stage(rdd, None)
         job = JobMetrics(job_id=self._next_job_id)
         self._next_job_id += 1
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.emit(obs_events.JOB_START, job_id=job.job_id, rdd=rdd.name)
 
         # Topological order over the stage DAG (parents before children).
         order: list[Stage] = []
@@ -211,11 +221,17 @@ class DAGScheduler:
                 metrics, results = self._run_result_stage(stage, func, partitions, job)
                 job.stages.append(metrics)
         self.job_history.append(job)
+        if obs.enabled:
+            obs.emit(obs_events.JOB_END, job_id=job.job_id,
+                     n_stages=len(job.stages), n_tasks=job.num_tasks)
+            obs.registry.counter("sparklet.jobs").inc()
         return results, job
 
     # -- fault recovery ----------------------------------------------------
     def _recover_shuffle(self, shuffle_id: int, job: JobMetrics) -> None:
         """Fetch failure: invalidate the parent shuffle, re-run its stage."""
+        if self.runtime.obs.enabled:
+            self.runtime.obs.emit(obs_events.SHUFFLE_RECOVER, shuffle_id=shuffle_id)
         self._completed_shuffles.discard(shuffle_id)
         self.runtime.shuffle.invalidate_shuffle(shuffle_id)
         self._map_outputs.pop(shuffle_id, None)
@@ -225,7 +241,14 @@ class DAGScheduler:
 
     def _handle_executor_loss(self, executor_id: str, stage: Stage, job: JobMetrics) -> None:
         """Executor loss: drop its map outputs, regenerate what's needed now."""
-        self.runtime.executors.lose(executor_id)
+        replacement = self.runtime.executors.lose(executor_id)
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.emit(obs_events.EXECUTOR_LOST, executor_id=executor_id,
+                     stage_id=stage.stage_id)
+            obs.emit(obs_events.EXECUTOR_ADDED, executor_id=replacement,
+                     replaces=executor_id)
+            obs.registry.counter("sparklet.executors_lost").inc()
         for sid, outputs in self._map_outputs.items():
             lost = [p for p, ex in outputs.items() if ex == executor_id]
             for p in lost:
@@ -249,6 +272,7 @@ class DAGScheduler:
         attempt = 0
         recoveries = 0
         task_key = (stage.stage_id, partition)
+        obs = self.runtime.obs
         while True:
             attempt += 1
             # A recovery wave can itself be interrupted (e.g. an executor dies
@@ -261,6 +285,10 @@ class DAGScheduler:
             executor_id = self.runtime.executors.pick(partition, attempt)
             for acc in self.runtime.accumulators:
                 acc._begin_attempt()
+            if obs.enabled:
+                obs.emit(obs_events.TASK_START, stage_id=sm.stage_id,
+                         attempt=sm.attempt, partition=partition,
+                         task_attempt=attempt, executor_id=executor_id)
             try:
                 if self.runtime.failure_injector is not None:
                     self.runtime.failure_injector(stage.stage_id, partition, attempt)
@@ -268,23 +296,44 @@ class DAGScheduler:
                     self.runtime.fault_injector.on_task_start(
                         stage.stage_id, partition, attempt, executor_id, shuffle_reads
                     )
-                task = body()
+                if obs.enabled:
+                    with obs.tracer.span("task", stage_id=sm.stage_id,
+                                         partition=partition, attempt=attempt):
+                        task = body()
+                else:
+                    task = body()
                 task.attempts = attempt
                 task.executor_id = executor_id
                 for acc in self.runtime.accumulators:
                     acc._commit_attempt(task_key)
+                if obs.enabled:
+                    obs.emit(obs_events.TASK_END, stage_id=sm.stage_id,
+                             attempt=sm.attempt, task=task.to_dict())
+                    obs.registry.counter("sparklet.tasks_completed").inc()
+                    obs.registry.histogram("sparklet.task_duration_s").observe(
+                        task.duration_s
+                    )
                 return task
             except TaskFailure:
                 for acc in self.runtime.accumulators:
                     acc._abort_attempt()
                 sm.n_task_failures += 1
-                self.runtime.executors.record_failure(executor_id, self.blacklist_threshold)
+                self._record_task_failure(sm, partition, attempt, executor_id,
+                                          "task_crash")
+                blacklisted = self.runtime.executors.record_failure(
+                    executor_id, self.blacklist_threshold
+                )
+                if blacklisted and obs.enabled:
+                    obs.emit(obs_events.EXECUTOR_BLACKLISTED, executor_id=executor_id)
+                    obs.registry.counter("sparklet.executors_blacklisted").inc()
                 if attempt > self.max_task_retries:
                     raise
             except ExecutorLostFailure as exc:
                 for acc in self.runtime.accumulators:
                     acc._abort_attempt()
                 sm.n_executor_lost += 1
+                self._record_task_failure(sm, partition, attempt, executor_id,
+                                          "executor_loss")
                 self._handle_executor_loss(exc.executor_id, stage, job)
                 if attempt > self.max_task_retries:
                     raise
@@ -292,10 +341,22 @@ class DAGScheduler:
                 for acc in self.runtime.accumulators:
                     acc._abort_attempt()
                 sm.n_fetch_failures += 1
+                self._record_task_failure(sm, partition, attempt, executor_id,
+                                          "fetch_failure")
                 recoveries += 1
                 if recoveries > self.max_stage_recoveries:
                     raise
                 self._recover_shuffle(exc.shuffle_id, job)
+
+    def _record_task_failure(self, sm: StageMetrics, partition: int, attempt: int,
+                             executor_id: str, kind: str) -> None:
+        """Publish one task-attempt failure to the event log and registry."""
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.emit(obs_events.TASK_FAILURE, stage_id=sm.stage_id,
+                     attempt=sm.attempt, partition=partition,
+                     task_attempt=attempt, executor_id=executor_id, kind=kind)
+            obs.registry.counter(f"sparklet.failures.{kind}").inc()
 
     def _run_shuffle_map_stage(
         self, stage: Stage, job: JobMetrics, partitions: list[int] | None = None
@@ -313,67 +374,87 @@ class DAGScheduler:
             is_shuffle_map=True,
             attempt=attempt,
         )
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.emit(obs_events.STAGE_START, stage_id=sm.stage_id, attempt=sm.attempt,
+                     name=sm.name, is_shuffle_map=True,
+                     n_partitions=stage.rdd.num_partitions)
         part = dep.partitioner
         todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
         shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
-
-        for split in todo:
-            def body(split: int = split) -> TaskMetrics:
-                t0 = time.perf_counter()
-                records = list(stage.rdd.iterator(split, self.runtime))
-                buckets: dict[int, list[Any]] = {}
-                bucket_weights: dict[int, int] = {}  # input records feeding each bucket
-                if dep.map_side_combine and dep.aggregator is not None:
-                    agg = dep.aggregator
-                    combined: dict[Any, Any] = {}
-                    key_counts: dict[Any, int] = {}
-                    for k, v in records:
-                        combined[k] = (
-                            agg.merge_value(combined[k], v) if k in combined else agg.create_combiner(v)
+        stage_span = (
+            obs.tracer.span("stage", stage_id=sm.stage_id, attempt=sm.attempt,
+                            kind="shuffle_map")
+            if obs.enabled
+            else nullcontext()
+        )
+        with stage_span:
+            for split in todo:
+                def body(split: int = split) -> TaskMetrics:
+                    t0 = time.perf_counter()
+                    records = list(stage.rdd.iterator(split, self.runtime))
+                    buckets: dict[int, list[Any]] = {}
+                    bucket_weights: dict[int, int] = {}  # input records feeding each bucket
+                    if dep.map_side_combine and dep.aggregator is not None:
+                        agg = dep.aggregator
+                        combined: dict[Any, Any] = {}
+                        key_counts: dict[Any, int] = {}
+                        for k, v in records:
+                            combined[k] = (
+                                agg.merge_value(combined[k], v)
+                                if k in combined
+                                else agg.create_combiner(v)
+                            )
+                            key_counts[k] = key_counts.get(k, 0) + 1
+                        for k, c in combined.items():
+                            idx = part.partition_for(k)
+                            buckets.setdefault(idx, []).append((k, c))
+                            bucket_weights[idx] = bucket_weights.get(idx, 0) + key_counts[k]
+                    else:
+                        for rec in records:
+                            idx = part.partition_for(rec[0])
+                            buckets.setdefault(idx, []).append(rec)
+                            bucket_weights[idx] = bucket_weights.get(idx, 0) + 1
+                    duration = time.perf_counter() - t0
+                    # Size estimation happens outside the timed region (it is
+                    # instrumentation, not work the real engine would do), and
+                    # once per task: buckets are sized by the input bytes they
+                    # carry (task-level average × contributing input records).
+                    bytes_in = estimate_bytes(records)
+                    n_out = sum(len(v) for v in buckets.values())
+                    avg = bytes_in / len(records) if records else 0.0
+                    written = 0
+                    for reduce_idx, items in buckets.items():
+                        written += self.runtime.shuffle.write(
+                            dep.shuffle_id, reduce_idx, items,
+                            nbytes=max(1, int(avg * bucket_weights[reduce_idx])),
+                            map_partition=split,
                         )
-                        key_counts[k] = key_counts.get(k, 0) + 1
-                    for k, c in combined.items():
-                        idx = part.partition_for(k)
-                        buckets.setdefault(idx, []).append((k, c))
-                        bucket_weights[idx] = bucket_weights.get(idx, 0) + key_counts[k]
-                else:
-                    for rec in records:
-                        idx = part.partition_for(rec[0])
-                        buckets.setdefault(idx, []).append(rec)
-                        bucket_weights[idx] = bucket_weights.get(idx, 0) + 1
-                duration = time.perf_counter() - t0
-                # Size estimation happens outside the timed region (it is
-                # instrumentation, not work the real engine would do), and
-                # once per task: buckets are sized by the input bytes they
-                # carry (task-level average × contributing input records).
-                bytes_in = estimate_bytes(records)
-                n_out = sum(len(v) for v in buckets.values())
-                avg = bytes_in / len(records) if records else 0.0
-                written = 0
-                for reduce_idx, items in buckets.items():
-                    written += self.runtime.shuffle.write(
-                        dep.shuffle_id, reduce_idx, items,
-                        nbytes=max(1, int(avg * bucket_weights[reduce_idx])),
-                        map_partition=split,
+                    return TaskMetrics(
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        duration_s=duration,
+                        records_in=len(records),
+                        records_out=n_out,
+                        bytes_in=bytes_in,
+                        bytes_out=written,
+                        shuffle_write_bytes=written,
+                        locality=stage.rdd.preferred_locations(split),
                     )
-                return TaskMetrics(
-                    stage_id=stage.stage_id,
-                    partition=split,
-                    duration_s=duration,
-                    records_in=len(records),
-                    records_out=n_out,
-                    bytes_in=bytes_in,
-                    bytes_out=written,
-                    shuffle_write_bytes=written,
-                    locality=stage.rdd.preferred_locations(split),
-                )
 
-            task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
-            sm.tasks.append(task)
-            self._map_outputs.setdefault(dep.shuffle_id, {})[split] = task.executor_id
+                task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
+                sm.tasks.append(task)
+                self._map_outputs.setdefault(dep.shuffle_id, {})[split] = task.executor_id
 
         if not self._missing_map_partitions(stage):
             self._completed_shuffles.add(dep.shuffle_id)
+        if obs.enabled:
+            obs.emit(obs_events.STAGE_END, stage_id=sm.stage_id, attempt=sm.attempt,
+                     n_tasks=len(sm.tasks), shuffle_write_bytes=sm.total_shuffle_write)
+            obs.registry.counter("sparklet.stages").inc()
+            obs.registry.counter("sparklet.shuffle_write_bytes").inc(
+                sm.total_shuffle_write
+            )
         job.stages.append(sm)
         return sm
 
@@ -387,35 +468,51 @@ class DAGScheduler:
         attempt = self._stage_attempts.get(stage.stage_id, 0)
         self._stage_attempts[stage.stage_id] = attempt + 1
         sm = StageMetrics(stage.stage_id, f"result({stage.rdd.name})", attempt=attempt)
+        obs = self.runtime.obs
+        if obs.enabled:
+            obs.emit(obs_events.STAGE_START, stage_id=sm.stage_id, attempt=sm.attempt,
+                     name=sm.name, is_shuffle_map=False,
+                     n_partitions=stage.rdd.num_partitions)
         results: list[Any] = []
         todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
         shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
 
-        for split in todo:
-            def body(split: int = split) -> TaskMetrics:
-                t0 = time.perf_counter()
-                records = list(stage.rdd.iterator(split, self.runtime))
-                out = func(iter(records))
-                duration = time.perf_counter() - t0
-                sread = sum(
-                    self.runtime.shuffle.fetch_bytes(sid, split) for sid in shuffle_reads
-                )
-                task = TaskMetrics(
-                    stage_id=stage.stage_id,
-                    partition=split,
-                    duration_s=duration,
-                    records_in=len(records),
-                    records_out=len(records),
-                    bytes_in=estimate_bytes(records),
-                    shuffle_read_bytes=sread,
-                    locality=stage.rdd.preferred_locations(split),
-                )
-                task._result = out  # type: ignore[attr-defined]
-                return task
+        stage_span = (
+            obs.tracer.span("stage", stage_id=sm.stage_id, attempt=sm.attempt,
+                            kind="result")
+            if obs.enabled
+            else nullcontext()
+        )
+        with stage_span:
+            for split in todo:
+                def body(split: int = split) -> TaskMetrics:
+                    t0 = time.perf_counter()
+                    records = list(stage.rdd.iterator(split, self.runtime))
+                    out = func(iter(records))
+                    duration = time.perf_counter() - t0
+                    sread = sum(
+                        self.runtime.shuffle.fetch_bytes(sid, split) for sid in shuffle_reads
+                    )
+                    task = TaskMetrics(
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        duration_s=duration,
+                        records_in=len(records),
+                        records_out=len(records),
+                        bytes_in=estimate_bytes(records),
+                        shuffle_read_bytes=sread,
+                        locality=stage.rdd.preferred_locations(split),
+                    )
+                    task._result = out  # type: ignore[attr-defined]
+                    return task
 
-            task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
-            results.append(task._result)  # type: ignore[attr-defined]
-            sm.tasks.append(task)
+                task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
+                results.append(task._result)  # type: ignore[attr-defined]
+                sm.tasks.append(task)
+        if obs.enabled:
+            obs.emit(obs_events.STAGE_END, stage_id=sm.stage_id, attempt=sm.attempt,
+                     n_tasks=len(sm.tasks), shuffle_write_bytes=0)
+            obs.registry.counter("sparklet.stages").inc()
         return sm, results
 
 

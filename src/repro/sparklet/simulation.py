@@ -487,19 +487,26 @@ def _simulate_stage(stage: StageMetrics, config: ClusterConfig) -> SimulatedStag
 
 
 def simulate_job(
-    job: JobMetrics, config: ClusterConfig, faults: SimFaultProfile | None = None
+    job: JobMetrics,
+    config: ClusterConfig,
+    faults: SimFaultProfile | None = None,
+    obs=None,
 ) -> SimulatedRun:
     """Replay a measured job on the given cluster configuration.
 
     Without ``faults`` this is the classic failure-free FIFO replay.  With a
     profile, stages run through the event-driven engine: executor deaths
     persist across stages, lost work is re-executed, and speculation can
-    cut straggler tails.
+    cut straggler tails.  ``obs`` (an optional ObsSession, duck-typed) gets
+    one ``sim_stage`` event per simulated stage plus ``sim_spill`` events
+    when a stage spills under memory pressure.
     """
     run = SimulatedRun(config=config)
     if faults is None:
         for stage in job.stages:
-            run.stages.append(_simulate_stage(stage, config))
+            sim = _simulate_stage(stage, config)
+            run.stages.append(sim)
+            _emit_sim_stage(obs, sim, config)
         return run
 
     clock = 0.0
@@ -510,7 +517,9 @@ def simulate_job(
 
     for stage in job.stages:
         if not stage.tasks:
-            run.stages.append(SimulatedStage(stage.stage_id, stage.name, 0.0, 0.0, 0.0, 0.0))
+            empty = SimulatedStage(stage.stage_id, stage.name, 0.0, 0.0, 0.0, 0.0)
+            run.stages.append(empty)
+            _emit_sim_stage(obs, empty, config)
             continue
         alive = config.num_executors - len(dead)
         if alive <= 0:
@@ -548,24 +557,39 @@ def simulate_job(
         dead |= outcome.newly_dead
         makespan = outcome.makespan_s + fixed
         clock += makespan
-        run.stages.append(
-            SimulatedStage(
-                stage_id=stage.stage_id,
-                name=stage.name,
-                makespan_s=makespan,
-                total_task_s=sum(durations),
-                spilled_bytes=spilled,
-                shuffle_read_s=shuffle_read_s,
-                n_failures=outcome.n_failures,
-                n_requeued=outcome.n_requeued,
-                n_speculative=outcome.n_speculative,
-                n_spec_wins=outcome.n_spec_wins,
-                recompute_task_s=outcome.recompute_task_s,
-            )
+        sim = SimulatedStage(
+            stage_id=stage.stage_id,
+            name=stage.name,
+            makespan_s=makespan,
+            total_task_s=sum(durations),
+            spilled_bytes=spilled,
+            shuffle_read_s=shuffle_read_s,
+            n_failures=outcome.n_failures,
+            n_requeued=outcome.n_requeued,
+            n_speculative=outcome.n_speculative,
+            n_spec_wins=outcome.n_spec_wins,
+            recompute_task_s=outcome.recompute_task_s,
         )
+        run.stages.append(sim)
+        _emit_sim_stage(obs, sim, config)
         if stage.is_shuffle_map:
             prev_map = stage
     return run
+
+
+def _emit_sim_stage(obs, sim: SimulatedStage, config: ClusterConfig) -> None:
+    """Publish one simulated stage (and any spill) to an ObsSession."""
+    if obs is None or not obs.enabled:
+        return
+    obs.emit(
+        "sim_stage", stage_id=sim.stage_id, name=sim.name,
+        makespan_s=sim.makespan_s, total_task_s=sim.total_task_s,
+        spilled_bytes=sim.spilled_bytes, n_failures=sim.n_failures,
+        n_requeued=sim.n_requeued, num_executors=config.num_executors,
+    )
+    if sim.spilled_bytes > 0:
+        obs.emit("sim_spill", stage_id=sim.stage_id, spilled_bytes=sim.spilled_bytes)
+        obs.registry.counter("sim.spilled_bytes").inc(int(sim.spilled_bytes))
 
 
 def simulate_executor_sweep(

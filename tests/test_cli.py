@@ -50,3 +50,42 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliTracing:
+    def test_identify_trace_out_then_report(self, capsys, tmp_path):
+        log = tmp_path / "run.jsonl"
+        assert main(["identify", "--pulsars", "3", "--observations", "1",
+                     "--seed", "4", "--trace-out", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written: {log}" in out
+        assert log.exists() and log.stat().st_size > 0
+
+        assert main(["trace-report", str(log)]) == 0
+        report = capsys.readouterr().out
+        assert "stage timeline" in report
+        assert "tasks" in report
+
+    def test_trace_report_json_replays_metrics(self, capsys, tmp_path):
+        import json
+
+        log = tmp_path / "run.jsonl"
+        assert main(["identify", "--pulsars", "3", "--observations", "1",
+                     "--seed", "4", "--trace-out", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(log), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["summary"]["n_jobs"] > 0
+        assert parsed["stages"]
+
+    def test_simulate_trace_out(self, capsys, tmp_path):
+        log = tmp_path / "sim.jsonl"
+        assert main(["simulate", "--observations", "2", "--executors", "1", "2",
+                     "--data-gb", "0.5", "--trace-out", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written:" in out
+        from repro.obs import read_events
+
+        kinds = {e["type"] for e in read_events(log)}
+        assert "dfs_put" in kinds
+        assert "sim_stage" in kinds

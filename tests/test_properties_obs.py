@@ -1,0 +1,131 @@
+"""Property-based tests for the observability subsystem.
+
+The central law: the event log is a *complete* record of an execution.  For
+any job shape, fault configuration and seed, replaying the JSONL events must
+rebuild the scheduler's JobMetrics byte-identically — no field may exist
+only in the live objects.
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.obs import ObsConfig, read_events, replay_job_metrics
+from repro.sparklet.context import SparkletContext
+from repro.sparklet.faults import (
+    EXECUTOR_LOSS,
+    FETCH_FAILURE,
+    TASK_CRASH,
+    FailureRule,
+    FaultConfig,
+)
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+#: Contexts run with this retry budget; the strategy keeps the total number
+#: of injectable faults (sum of max_fires) strictly below it so a generated
+#: config can never legitimately exhaust a task's retries and kill the job.
+MAX_TASK_RETRIES = 8
+
+
+def rule_strategy():
+    return st.builds(
+        FailureRule,
+        kind=st.sampled_from([TASK_CRASH, EXECUTOR_LOSS, FETCH_FAILURE]),
+        probability=st.floats(0.0, 0.4),
+        max_fires=st.integers(0, 2),
+    )
+
+
+def fault_config_strategy():
+    return st.one_of(
+        st.none(),
+        st.builds(
+            FaultConfig,
+            seed=st.integers(0, 10_000),
+            rules=st.lists(rule_strategy(), min_size=0, max_size=3).map(tuple),
+            max_failures_per_executor=st.integers(2, 4),
+        ),
+    )
+
+
+def _run_workload(ctx, n_elements, n_partitions, with_shuffle):
+    rdd = ctx.parallelize(range(n_elements), n_partitions)
+    if with_shuffle:
+        rdd.map(lambda x: (x % 3, x)).reduce_by_key(lambda a, b: a + b).collect()
+    else:
+        rdd.map(lambda x: x + 1).collect()
+
+
+class TestReplayIsByteIdentical:
+    @SETTINGS
+    @given(
+        fault_config=fault_config_strategy(),
+        n_elements=st.integers(1, 40),
+        n_partitions=st.integers(1, 6),
+        with_shuffle=st.booleans(),
+        n_jobs=st.integers(1, 3),
+        num_executors=st.integers(2, 5),
+    )
+    def test_replayed_metrics_equal_live(
+        self, fault_config, n_elements, n_partitions, with_shuffle, n_jobs,
+        num_executors,
+    ):
+        ctx = SparkletContext(
+            num_executors=num_executors,
+            max_task_retries=MAX_TASK_RETRIES,
+            obs=ObsConfig(enabled=True),
+            fault_config=fault_config,
+        )
+        for _ in range(n_jobs):
+            _run_workload(ctx, n_elements, n_partitions, with_shuffle)
+        live = ctx.scheduler.job_history
+        replayed = replay_job_metrics(ctx.obs.events())
+        assert replayed == live
+        live_json = json.dumps([j.to_dict() for j in live], sort_keys=True)
+        replay_json = json.dumps([j.to_dict() for j in replayed], sort_keys=True)
+        assert live_json == replay_json
+
+    @SETTINGS
+    @given(
+        fault_config=fault_config_strategy(),
+        seed=st.integers(0, 500),
+    )
+    def test_jsonl_round_trip_preserves_replay(self, tmp_path_factory, fault_config, seed):
+        """Serialization to disk (float repr included) loses nothing."""
+        path = tmp_path_factory.mktemp("obs") / f"run{seed}.jsonl"
+        ctx = SparkletContext(
+            max_task_retries=MAX_TASK_RETRIES,
+            obs=ObsConfig(enabled=True, event_log_path=path),
+            fault_config=fault_config,
+        )
+        _run_workload(ctx, 24, 4, with_shuffle=True)
+        ctx.obs.close()
+        from_memory = replay_job_metrics(ctx.obs.events())
+        from_disk = replay_job_metrics(read_events(path))
+        assert from_memory == from_disk == ctx.scheduler.job_history
+
+    @SETTINGS
+    @given(fault_config=fault_config_strategy())
+    def test_event_log_is_deterministic_per_seed(self, fault_config):
+        """Same config, same workload => same event sequence (structurally;
+        wall-clock fields like ``t`` and task durations are excluded)."""
+
+        def skeleton():
+            ctx = SparkletContext(
+                max_task_retries=MAX_TASK_RETRIES,
+                obs=ObsConfig(enabled=True),
+                fault_config=fault_config,
+            )
+            _run_workload(ctx, 30, 5, with_shuffle=True)
+            return [
+                (e["type"], e.get("stage_id"), e.get("partition"),
+                 e.get("attempt"), e.get("kind"), e.get("executor_id"))
+                for e in ctx.obs.events()
+            ]
+
+        assert skeleton() == skeleton()
