@@ -17,6 +17,8 @@ Subpackages:
 - :mod:`repro.astro` — synthetic radio surveys and clustering
 - :mod:`repro.core` — RAPID / D-RAPID, features, ALM, the Fig. 2 pipeline
 - :mod:`repro.io` — the csv file formats exchanged between stages
+- :mod:`repro.streaming` — micro-batch engine: receivers, watermark state,
+  PID backpressure, checkpoint recovery, in-stream classification
 """
 
 __version__ = "1.0.0"
@@ -30,15 +32,23 @@ PAPER = (
 __all__ = [
     "PAPER",
     "PipelineConfig",
+    "StreamingConfig",
     "__version__",
     "run_drapid",
     "run_pipeline",
+    "run_streaming",
 ]
 
 #: Facade names resolved lazily so ``import repro`` stays lightweight
 #: (the CLI and docs tools import the package without pulling numpy-heavy
 #: subpackages).
-_API_NAMES = ("PipelineConfig", "run_pipeline", "run_drapid")
+_API_NAMES = (
+    "PipelineConfig",
+    "StreamingConfig",
+    "run_pipeline",
+    "run_drapid",
+    "run_streaming",
+)
 
 
 def __getattr__(name: str):

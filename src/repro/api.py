@@ -10,7 +10,10 @@ through two functions::
 :func:`run_pipeline` executes the full Fig. 2 workflow (synthesize →
 cluster → D-RAPID identify → ALM label, optionally classify);
 :func:`run_drapid` runs only the distributed identification stage on
-observations you already have.  Both honour the same
+observations you already have; :func:`run_streaming` replays the same
+workload through the micro-batch streaming engine
+(:mod:`repro.streaming`) and produces output byte-identical to
+:func:`run_pipeline` on the same data and seed.  All honour the same
 :class:`PipelineConfig`, including its fault-injection and observability
 knobs, and produce output identical to the legacy construction path
 (``SinglePulsePipeline(...)`` / hand-built ``DRapidDriver``) on the same
@@ -19,6 +22,7 @@ seed — the facade adds no behaviour, only a stable surface.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -26,6 +30,12 @@ from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.survey import GBT350DRIFT, PALFA, Observation, SurveyConfig
 from repro.core.pipeline import PipelineResult, SinglePulsePipeline
 from repro.core.search import SearchParams
+from repro.streaming.backpressure import PIDConfig
+from repro.streaming.engine import (
+    LinearCostModel,
+    SimulatedCostModel,
+    StreamingResult,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.drapid import DRapidResult
@@ -34,7 +44,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sparklet.context import SparkletContext
     from repro.sparklet.faults import FaultConfig
 
-__all__ = ["PipelineConfig", "run_pipeline", "run_drapid", "resolve_survey"]
+__all__ = [
+    "PipelineConfig",
+    "StreamingConfig",
+    "run_pipeline",
+    "run_drapid",
+    "run_streaming",
+    "resolve_survey",
+]
 
 #: Survey presets addressable by name in :class:`PipelineConfig`.
 _SURVEYS: dict[str, SurveyConfig] = {
@@ -83,6 +100,44 @@ class PipelineConfig:
     obs_config: "ObsConfig | ObsSession | None" = None
 
 
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Everything one streaming run depends on, in one immutable record.
+
+    Embeds a :class:`PipelineConfig` — the streamed workload is *the same*
+    workload ``run_pipeline`` would execute offline on that config, which
+    is what makes the byte-identity law testable.
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    #: Micro-batch interval on the simulated clock (seconds).
+    batch_interval_s: float = 1.0
+    #: Receiver blocks cut per batch interval (Spark's blockInterval).
+    blocks_per_batch: int = 4
+    #: Source arrival rate, rows (SPEs + cluster announcements) per second.
+    arrival_rate: float = 4000.0
+    #: PID rate limiting (Spark's spark.streaming.backpressure.enabled).
+    backpressure: bool = True
+    pid: PIDConfig = field(default_factory=PIDConfig)
+    #: Batches between checkpoints (0 disables checkpointing).
+    checkpoint_interval: int = 8
+    checkpoint_path: str = "/stream/checkpoint.json"
+    #: DFS prefix for per-batch inputs and ML outputs.
+    batch_root: str = "/stream"
+    #: Inject a driver crash after this batch completes (before its
+    #: checkpoint); recovery replays from the last durable checkpoint.
+    crash_at_batch: int | None = None
+    #: Serving model (saved via :func:`repro.ml.persistence.save_model`);
+    #: finalized pulses are scored in-stream when set.
+    model_path: str | None = None
+    #: Charges each batch its processing time on the simulated clock.
+    cost_model: "LinearCostModel | SimulatedCostModel" = field(
+        default_factory=LinearCostModel
+    )
+    #: Safety valve: abort if the stream hasn't drained by then.
+    max_batches: int = 10_000
+
+
 def _pipeline_for(config: PipelineConfig) -> SinglePulsePipeline:
     return SinglePulsePipeline.from_config(
         survey=resolve_survey(config.survey),
@@ -112,6 +167,49 @@ def run_pipeline(
         n_observations=config.n_observations,
         classify=config.classify,
     )
+
+
+def run_streaming(
+    config: StreamingConfig,
+    pulsars: Sequence[Pulsar] | None = None,
+    *,
+    dfs: "DFSClient | None" = None,
+    ctx: "SparkletContext | None" = None,
+    model: object | None = None,
+) -> StreamingResult:
+    """Replay the configured workload through the micro-batch engine.
+
+    Generates exactly the observations :func:`run_pipeline` would (same
+    pipeline, same seed, same rng draws), then streams them: timestamped
+    blocks at ``config.arrival_rate``, batch-interval jobs through
+    Sparklet, watermark-finalized cross-batch clusters, PID backpressure,
+    DFS checkpoints, optional crash/recovery, and in-stream scoring.  The
+    concatenated output is byte-identical to the offline run's (compare
+    via :meth:`StreamingResult.canonical_ml_text`).
+
+    ``model`` (a trained learner) overrides ``config.model_path`` as the
+    in-stream serving classifier.
+    """
+    from repro.obs.session import ObsSession
+    from repro.streaming.engine import stream_observations
+
+    session = ObsSession.from_config(config.pipeline.obs_config)
+    pipe_config = dataclasses.replace(config.pipeline, obs_config=session)
+    pipeline = _pipeline_for(pipe_config)
+    if pulsars is None:
+        pulsars = synthesize_population(
+            pipe_config.n_pulsars, seed=pipe_config.seed
+        )
+    with session.tracer.span("streaming.generate"):
+        observations = pipeline.generate(
+            list(pulsars), pipe_config.n_observations
+        )
+    streaming_config = dataclasses.replace(config, pipeline=pipe_config)
+    with session.tracer.span("streaming.run"):
+        return stream_observations(
+            observations, streaming_config,
+            dfs=dfs, ctx=ctx, model=model, obs=session,
+        )
 
 
 def run_drapid(

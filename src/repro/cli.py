@@ -4,6 +4,7 @@ Subcommands mirror the pipeline stages a survey scientist would run:
 
 - ``generate``     — synthesize a survey and print its statistics
 - ``identify``     — run the full D-RAPID identification pipeline
+- ``stream``       — replay the workload through the micro-batch engine
 - ``classify``     — build a labeled benchmark and cross-validate a learner
 - ``simulate``     — replay an identification job on a configurable cluster
 - ``trace-report`` — summarize an observability event log (``--trace-out``)
@@ -51,6 +52,26 @@ def _build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--seed", type=int, default=0)
     ident.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write an observability event log (JSONL) here")
+
+    stream = sub.add_parser("stream", help="run the micro-batch streaming engine")
+    stream.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    stream.add_argument("--pulsars", type=int, default=6)
+    stream.add_argument("--observations", type=int, default=3)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--batch-interval", type=float, default=1.0, metavar="S",
+                        help="micro-batch interval on the simulated clock")
+    stream.add_argument("--arrival-rate", type=float, default=4000.0, metavar="ROWS_PER_S",
+                        help="source arrival rate (rows per second)")
+    stream.add_argument("--no-backpressure", action="store_true",
+                        help="disable the PID rate estimator")
+    stream.add_argument("--checkpoint-interval", type=int, default=8, metavar="N",
+                        help="batches between DFS checkpoints (0 disables)")
+    stream.add_argument("--crash-at", type=int, default=None, metavar="BATCH",
+                        help="inject a driver crash after this batch and recover")
+    stream.add_argument("--model", default=None, metavar="PATH",
+                        help="saved classifier for in-stream scoring")
+    stream.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write an observability event log (JSONL) here")
 
     cls = sub.add_parser("classify", help="benchmark a learner")
     cls.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
@@ -139,6 +160,41 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.api import PipelineConfig, StreamingConfig, run_streaming
+
+    session = _obs_session(args.trace_out)
+    config = StreamingConfig(
+        pipeline=PipelineConfig(
+            survey=args.survey, seed=args.seed, n_pulsars=args.pulsars,
+            n_observations=args.observations, obs_config=session,
+        ),
+        batch_interval_s=args.batch_interval,
+        arrival_rate=args.arrival_rate,
+        backpressure=not args.no_backpressure,
+        checkpoint_interval=args.checkpoint_interval,
+        crash_at_batch=args.crash_at,
+        model_path=args.model,
+    )
+    result = run_streaming(config)
+    if session is not None:
+        session.close()
+        print(f"trace written: {args.trace_out}")
+    delays = sorted(b.total_delay_s for b in result.batches)
+    p50 = delays[len(delays) // 2] if delays else 0.0
+    print(f"batches: {result.n_batches}")
+    print(f"pulses identified: {result.n_pulses}"
+          + (f" ({int(len(result.predicted))} scored in-stream)"
+             if result.predicted is not None else ""))
+    print(f"clusters finalized: {sum(b.n_clusters_finalized for b in result.batches)}")
+    print(f"widest cluster span: {result.max_batches_spanned} batches")
+    print(f"max queue depth: {result.max_queue_depth}")
+    print(f"median batch delay: {p50:.3f} s")
+    print(f"checkpoints written: {result.checkpoints_written}"
+          + (f", recoveries: {result.n_recoveries}" if result.n_recoveries else ""))
+    return 0
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.astro.benchmark import build_benchmark
     from repro.core.alm import ALM_SCHEMES
@@ -222,6 +278,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "identify": _cmd_identify,
+        "stream": _cmd_stream,
         "classify": _cmd_classify,
         "simulate": _cmd_simulate,
         "trace-report": _cmd_trace_report,

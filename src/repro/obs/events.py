@@ -54,6 +54,15 @@ NODE_DECOMMISSIONED = "node_decommissioned"
 SIM_STAGE = "sim_stage"
 SIM_SPILL = "sim_spill"
 
+# Micro-batch streaming engine (repro.streaming).
+BLOCK_RECEIVED = "block_received"
+BATCH_SUBMITTED = "batch_submitted"
+BATCH_COMPLETED = "batch_completed"
+WATERMARK_ADVANCED = "watermark_advanced"
+RATE_UPDATED = "rate_updated"
+CHECKPOINT_WRITTEN = "checkpoint_written"
+DRIVER_RECOVERED = "driver_recovered"
+
 
 class EventLog:
     """Append-only structured event sink.

@@ -1,0 +1,69 @@
+"""Micro-batch streaming: D-RAPID as a continuously-fed, low-latency service.
+
+The paper's end goal — survey-scale, real-time single pulse search — needs
+more than a batch pipeline.  This subpackage layers a Spark-Streaming-style
+engine over the existing stack:
+
+- :mod:`~repro.streaming.receiver` — seeded deterministic replay of an
+  observation set as timestamped, rate-limited blocks;
+- :mod:`~repro.streaming.state` — pending clusters carried across batch
+  boundaries, finalized by event-time watermarks;
+- :mod:`~repro.streaming.engine` — the micro-batch driver loop (scheduling
+  delay vs. processing time on a simulated clock, per-batch D-RAPID jobs
+  through Sparklet);
+- :mod:`~repro.streaming.backpressure` — Spark's PID rate estimator;
+- :mod:`~repro.streaming.checkpoint` — durable engine state on the DFS and
+  exactly-once crash recovery;
+- :mod:`~repro.streaming.serving` — in-stream classification of finalized
+  pulses.
+
+The governing invariant, asserted by tests and a hypothesis property
+suite: concatenated streamed output is **byte-identical** to the offline
+``run_pipeline`` output on the same data and seed (under the canonical
+(key, cluster) order — see :func:`~repro.streaming.engine.canonical_ml_text`).
+
+Use :func:`repro.api.run_streaming` rather than these pieces directly.
+"""
+
+from repro.streaming.backpressure import PIDConfig, PIDRateEstimator
+from repro.streaming.checkpoint import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.streaming.engine import (
+    BatchStats,
+    LinearCostModel,
+    MicroBatchEngine,
+    SimulatedCostModel,
+    SimulatedDriverCrash,
+    StreamingResult,
+    canonical_ml_text,
+    stream_observations,
+)
+from repro.streaming.receiver import Block, ReplayReceiver, StreamItem, build_stream
+from repro.streaming.serving import StreamScorer
+from repro.streaming.state import FinalizedUnit, StreamState
+
+__all__ = [
+    "BatchStats",
+    "Block",
+    "CheckpointError",
+    "FinalizedUnit",
+    "LinearCostModel",
+    "MicroBatchEngine",
+    "PIDConfig",
+    "PIDRateEstimator",
+    "ReplayReceiver",
+    "SimulatedCostModel",
+    "SimulatedDriverCrash",
+    "StreamScorer",
+    "StreamingResult",
+    "StreamItem",
+    "StreamState",
+    "build_stream",
+    "canonical_ml_text",
+    "read_checkpoint",
+    "stream_observations",
+    "write_checkpoint",
+]

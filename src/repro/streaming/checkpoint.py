@@ -1,0 +1,80 @@
+"""Checkpointing: the engine's durable state, as one JSON file on the DFS.
+
+Spark Streaming checkpoints two things: *metadata* (the driver's position
+in the stream) and *state* (updateStateByKey's per-key data).  We persist
+both in a single JSON document because everything in this engine was
+designed to be scalar-serializable:
+
+- the receiver is three scalars (cursor, credit, block counter);
+- the PID estimator is three floats;
+- pending-cluster state is raw file rows plus small ints/floats;
+- the driver clock is ``batch_index`` + ``free_at``.
+
+Recovery = rebuild the item stream from the (deterministic, seeded)
+source, restore these scalars, and rerun every batch after the checkpoint.
+Batch outputs are written to deterministic per-batch DFS paths and replaced
+on rewrite, so replayed batches are idempotent and the concatenated output
+stays byte-identical — exactly-once semantics from at-least-once execution
+plus deterministic, idempotent writes.
+
+The checkpoint lives *on the DFS*, not in driver memory: an injected
+driver crash loses the engine object, and recovery must work from what the
+file system kept.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfs import DFSClient
+
+#: Bump on any layout change; recovery refuses mismatched checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be decoded or has the wrong version."""
+
+
+def put_replace(dfs: "DFSClient", path: str, text: str) -> None:
+    """DFS put with overwrite semantics (the DFS itself refuses overwrites)."""
+    if dfs.exists(path):
+        dfs.delete(path)
+    dfs.put_text(path, text)
+
+
+def write_checkpoint(dfs: "DFSClient", path: str, snapshot: dict) -> int:
+    """Serialize ``snapshot`` to ``path``; returns the byte size written."""
+    payload = dict(snapshot)
+    payload["checkpoint_version"] = CHECKPOINT_VERSION
+    text = json.dumps(payload)
+    put_replace(dfs, path, text)
+    return len(text.encode("utf-8"))
+
+
+def read_checkpoint(dfs: "DFSClient", path: str) -> dict | None:
+    """Load the latest checkpoint, or None if none was ever written."""
+    if not dfs.exists(path):
+        return None
+    try:
+        snapshot = json.loads(dfs.get_text(path))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from None
+    version = snapshot.get("checkpoint_version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version}; "
+            f"this build reads {CHECKPOINT_VERSION}"
+        )
+    return snapshot
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "put_replace",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,47 @@
+"""In-stream serving: score finalized pulses as their batch completes.
+
+The paper's end state is a pipeline where identification feeds
+classification continuously (the GSP/CRAFTS systems run exactly this
+shape).  Here the serving path is deliberately thin: a trained classifier
+— loaded through :mod:`repro.ml.persistence`'s hardened unpickler — is
+applied to each batch's finalized :class:`~repro.dataplane.PulseBatch`
+feature matrix, so every pulse leaves the engine already labeled and the
+per-batch end-to-end latency (arrival → labeled) is measurable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane import PulseBatch
+
+
+class StreamScorer:
+    """Wraps any trained learner with a ``predict(X)`` method."""
+
+    def __init__(self, model: Any) -> None:
+        if not hasattr(model, "predict"):
+            raise TypeError(
+                f"serving model {type(model).__name__} has no predict() method"
+            )
+        self.model = model
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "StreamScorer":
+        """Load a model saved by :func:`repro.ml.persistence.save_model`."""
+        from repro.ml.persistence import load_model
+
+        return cls(load_model(path))
+
+    def score(self, batch: "PulseBatch") -> np.ndarray:
+        """Predicted labels for one batch of finalized pulses."""
+        if not len(batch):
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(self.model.predict(batch.features))
+
+
+__all__ = ["StreamScorer"]

@@ -100,6 +100,16 @@ class TestDeprecationShim:
             warnings.simplefilter("error", DeprecationWarning)
             run_pipeline(PipelineConfig(n_pulsars=3, n_observations=1))
 
+    def test_streaming_path_does_not_warn(self):
+        from repro.api import StreamingConfig, run_streaming
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_streaming(StreamingConfig(
+                pipeline=PipelineConfig(n_pulsars=3, n_observations=1),
+                batch_interval_s=0.5, arrival_rate=2000.0,
+            ))
+
 
 class TestPublicSurface:
     def test_top_level_lazy_exports(self):
@@ -113,6 +123,7 @@ class TestPublicSurface:
     @pytest.mark.parametrize("module", [
         "repro", "repro.api", "repro.astro", "repro.core", "repro.dataplane",
         "repro.dfs", "repro.io", "repro.ml", "repro.obs", "repro.sparklet",
+        "repro.streaming",
     ])
     def test_all_names_resolve(self, module):
         mod = importlib.import_module(module)

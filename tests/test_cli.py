@@ -37,6 +37,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "feature selection (IG)" in out
 
+    def test_stream(self, capsys):
+        assert main(["stream", "--pulsars", "3", "--observations", "1",
+                     "--seed", "11", "--batch-interval", "0.25",
+                     "--arrival-rate", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "batches:" in out
+        assert "pulses identified:" in out
+        assert "widest cluster span:" in out
+        assert "max queue depth:" in out
+
+    def test_stream_crash_recovery(self, capsys):
+        assert main(["stream", "--pulsars", "3", "--observations", "1",
+                     "--seed", "11", "--batch-interval", "0.25",
+                     "--arrival-rate", "300", "--checkpoint-interval", "4",
+                     "--crash-at", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "recoveries: 1" in out
+
     def test_simulate(self, capsys):
         assert main(["simulate", "--observations", "3",
                      "--executors", "1", "4", "--data-gb", "1.0"]) == 0
@@ -89,3 +107,36 @@ class TestCliTracing:
         kinds = {e["type"] for e in read_events(log)}
         assert "dfs_put" in kinds
         assert "sim_stage" in kinds
+
+    def test_stream_trace_out(self, capsys, tmp_path):
+        log = tmp_path / "stream.jsonl"
+        assert main(["stream", "--pulsars", "3", "--observations", "1",
+                     "--seed", "11", "--batch-interval", "0.25",
+                     "--arrival-rate", "600", "--trace-out", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written:" in out
+        from repro.obs import read_events
+
+        kinds = {e["type"] for e in read_events(log)}
+        assert "batch_submitted" in kinds
+        assert "watermark_advanced" in kinds
+
+
+class TestConsoleScript:
+    """Satellite: the packaged ``repro`` entry point must resolve."""
+
+    def test_entry_point_declared(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        meta = tomllib.loads(pyproject.read_text())
+        assert meta["project"]["scripts"]["repro"] == "repro.cli:main"
+
+    def test_entry_point_target_is_callable(self):
+        import importlib
+
+        module_name, _, attr = "repro.cli:main".partition(":")
+        target = getattr(importlib.import_module(module_name), attr)
+        assert callable(target)
+        assert target is main

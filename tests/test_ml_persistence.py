@@ -53,6 +53,76 @@ class TestModelPersistence:
             load_model(path)
 
 
+class _EvilSystem:
+    """Pickles to ``os.system("...")`` — classic unpickling RCE payload."""
+
+    def __reduce__(self):
+        import os
+
+        return (os.system, ("echo pwned > /dev/null",))
+
+
+class _EvilEval:
+    """Pickles to ``eval("...")`` — RCE through an allowed-looking module."""
+
+    def __reduce__(self):
+        return (eval, ("1+1",))
+
+
+class TestHostilePayloads:
+    """load_model must refuse payloads that resolve non-allowlisted classes."""
+
+    def test_os_system_payload_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "evil.pkl"
+        path.write_bytes(pickle.dumps(
+            {"format_version": FORMAT_VERSION, "class_name": "X",
+             "model": _EvilSystem()}
+        ))
+        with pytest.raises(pickle.UnpicklingError, match="refusing to unpickle"):
+            load_model(path)
+
+    def test_eval_payload_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "evil.pkl"
+        path.write_bytes(pickle.dumps(
+            {"format_version": FORMAT_VERSION, "class_name": "X",
+             "model": _EvilEval()}
+        ))
+        with pytest.raises(pickle.UnpicklingError, match="builtins.eval"):
+            load_model(path)
+
+    def test_error_names_the_rejected_class(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "evil.pkl"
+        path.write_bytes(pickle.dumps(_EvilSystem()))
+        with pytest.raises(pickle.UnpicklingError) as excinfo:
+            load_model(path)
+        assert "system" in str(excinfo.value)
+
+    def test_subprocess_payload_rejected(self, tmp_path):
+        import pickle
+        import subprocess
+
+        class EvilCall:
+            def __reduce__(self):
+                return (subprocess.call, (["true"],))
+
+        path = tmp_path / "evil.pkl"
+        path.write_bytes(pickle.dumps(EvilCall()))
+        with pytest.raises(pickle.UnpicklingError, match="subprocess"):
+            load_model(path)
+
+    def test_benign_numpy_graph_still_loads(self, tmp_path):
+        """The allowlist must not reject what save_model legitimately writes."""
+        save_model({"w": np.arange(5.0), "meta": (1, "x")}, tmp_path / "m.pkl")
+        loaded = load_model(tmp_path / "m.pkl")
+        np.testing.assert_array_equal(loaded["w"], np.arange(5.0))
+
+
 class TestBenchmarkPersistence:
     def test_roundtrip(self, small_benchmark, tmp_path):
         save_benchmark(small_benchmark, tmp_path / "bench")

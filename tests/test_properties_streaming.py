@@ -1,0 +1,53 @@
+"""Property test: the streamed≡offline law holds across the knob space.
+
+Hypothesis draws (seed, batch interval, arrival rate) triples and checks
+that ``run_streaming`` reproduces ``run_pipeline`` byte-for-byte every
+time.  The offline side is computed once per seed and cached — only the
+streaming side varies within a seed.
+
+One drawn corner is pinned via ``@example``: a slow-arrival run whose
+widest cluster spans at least three micro-batches, so the suite always
+exercises genuinely cross-batch state (not just the law on easy splits).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, example, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.api import PipelineConfig, StreamingConfig, run_pipeline, run_streaming  # noqa: E402
+from repro.streaming import canonical_ml_text  # noqa: E402
+
+_OFFLINE_CACHE: dict[int, str] = {}
+
+
+def _offline_text(seed: int) -> str:
+    if seed not in _OFFLINE_CACHE:
+        result = run_pipeline(PipelineConfig(n_pulsars=3, n_observations=1, seed=seed))
+        _OFFLINE_CACHE[seed] = canonical_ml_text(result.drapid.pulse_batch)
+    return _OFFLINE_CACHE[seed]
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=3),
+    batch_interval_s=st.sampled_from([0.25, 0.5, 1.0]),
+    arrival_rate=st.sampled_from([150.0, 600.0, 2400.0]),
+)
+@example(seed=11, batch_interval_s=0.25, arrival_rate=120.0)  # span >= 3 case
+def test_streamed_output_matches_offline(seed, batch_interval_s, arrival_rate):
+    result = run_streaming(StreamingConfig(
+        pipeline=PipelineConfig(n_pulsars=3, n_observations=1, seed=seed),
+        batch_interval_s=batch_interval_s,
+        arrival_rate=arrival_rate,
+        checkpoint_interval=4,
+    ))
+    if seed == 11 and arrival_rate == 120.0:
+        assert result.max_batches_spanned >= 3
+    assert result.canonical_ml_text() == _offline_text(seed)

@@ -1,0 +1,145 @@
+"""The streaming engine's contract: streamed ≡ offline, byte for byte.
+
+Every test here runs the same workload twice — once through
+``run_pipeline`` (offline, all data at rest) and once through
+``run_streaming`` (micro-batches, watermarks, backpressure, crashes) —
+and asserts the canonical ML output text is *identical*.  Batching,
+rate limits, and recovery must be invisible in the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import PipelineConfig, StreamingConfig, run_pipeline, run_streaming
+from repro.ml import RandomForest
+from repro.ml.persistence import save_model
+from repro.streaming import LinearCostModel, canonical_ml_text
+
+
+@pytest.fixture(scope="module")
+def base_pipeline():
+    return PipelineConfig(n_pulsars=3, n_observations=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def offline_text(base_pipeline):
+    result = run_pipeline(base_pipeline)
+    return canonical_ml_text(result.drapid.pulse_batch)
+
+
+class TestByteIdentity:
+    def test_streamed_equals_offline(self, base_pipeline, offline_text):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, batch_interval_s=0.5, arrival_rate=2000.0,
+        ))
+        assert result.n_batches > 1
+        assert result.canonical_ml_text() == offline_text
+
+    def test_slow_arrival_many_batches(self, base_pipeline, offline_text):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, batch_interval_s=0.25, arrival_rate=300.0,
+            checkpoint_interval=4,
+        ))
+        assert result.n_batches > 20  # genuinely fine-grained batching
+        assert result.canonical_ml_text() == offline_text
+        assert result.checkpoints_written > 0
+
+    def test_cluster_spanning_three_plus_batches(self):
+        """A pulse whose cluster straddles >= 3 micro-batch boundaries must
+        still come out byte-identical (the cross-batch state is doing real
+        work, not just pass-through)."""
+        pipeline = PipelineConfig(n_pulsars=3, n_observations=1, seed=11)
+        offline = canonical_ml_text(run_pipeline(pipeline).drapid.pulse_batch)
+        result = run_streaming(StreamingConfig(
+            pipeline=pipeline, batch_interval_s=0.25, arrival_rate=120.0,
+            checkpoint_interval=6,
+        ))
+        assert result.max_batches_spanned >= 3
+        assert result.canonical_ml_text() == offline
+
+
+class TestCrashRecovery:
+    def test_recovery_from_checkpoint_is_byte_identical(
+        self, base_pipeline, offline_text
+    ):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, batch_interval_s=0.25, arrival_rate=300.0,
+            checkpoint_interval=4, crash_at_batch=7,
+        ))
+        assert result.n_recoveries == 1
+        assert result.canonical_ml_text() == offline_text
+
+    def test_crash_before_first_checkpoint_cold_restarts(
+        self, base_pipeline, offline_text
+    ):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, batch_interval_s=0.25, arrival_rate=300.0,
+            checkpoint_interval=50, crash_at_batch=3,
+        ))
+        assert result.n_recoveries == 1
+        assert result.canonical_ml_text() == offline_text
+
+    def test_recovered_run_matches_uncrashed_stats_tail(self, base_pipeline):
+        """Batches after the recovery point replay deterministically."""
+        cfg = dict(pipeline=base_pipeline, batch_interval_s=0.25,
+                   arrival_rate=300.0, checkpoint_interval=4)
+        clean = run_streaming(StreamingConfig(**cfg))
+        crashed = run_streaming(StreamingConfig(**cfg, crash_at_batch=7))
+        assert [s.n_rows for s in crashed.batches] == [s.n_rows for s in clean.batches]
+
+
+class TestBackpressure:
+    OVERLOAD = dict(
+        batch_interval_s=0.5, arrival_rate=400.0,
+        cost_model=LinearCostModel(rows_per_s=200.0, fixed_s=0.01),
+    )
+
+    def test_queue_bounded_with_backpressure(self, base_pipeline, offline_text):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, backpressure=True, **self.OVERLOAD,
+        ))
+        assert result.max_queue_depth <= 3
+        assert result.canonical_ml_text() == offline_text
+
+    def test_queue_grows_without_backpressure(self, base_pipeline, offline_text):
+        with_bp = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, backpressure=True, **self.OVERLOAD,
+        ))
+        without = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, backpressure=False, **self.OVERLOAD,
+        ))
+        assert without.max_queue_depth > with_bp.max_queue_depth
+        # rate limiting reorders nothing — output still identical
+        assert without.canonical_ml_text() == offline_text
+
+    def test_pid_converges_toward_capacity(self, base_pipeline):
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, backpressure=True, **self.OVERLOAD,
+        ))
+        final_rates = [s.rate_limit for s in result.batches[-3:]]
+        # capacity is 200 rows/s; the limiter should have throttled the
+        # 400 rows/s source down near it
+        assert all(r < 250.0 for r in final_rates)
+
+
+class TestInStreamServing:
+    def test_scores_finalized_pulses_with_persisted_model(
+        self, base_pipeline, tmp_path
+    ):
+        offline = run_pipeline(base_pipeline)
+        model = RandomForest(n_trees=5, seed=0).fit(
+            offline.features, offline.is_pulsar.astype(np.int64)
+        )
+        path = tmp_path / "serving.pkl"
+        save_model(model, path)
+        result = run_streaming(StreamingConfig(
+            pipeline=base_pipeline, batch_interval_s=0.5, arrival_rate=2000.0,
+            model_path=str(path),
+        ))
+        assert result.predicted is not None
+        assert result.predicted.shape == (result.n_pulses,)
+        # in-stream scores match scoring the offline batch with the same model
+        np.testing.assert_array_equal(
+            result.predicted, model.predict(result.pulse_batch.features)
+        )
+        assert sum(s.n_scored for s in result.batches) == result.n_pulses
