@@ -98,6 +98,12 @@ class PipelineConfig:
     fault_config: "FaultConfig | None" = None
     #: Observability: event log + spans + metrics for the whole run.
     obs_config: "ObsConfig | ObsSession | None" = None
+    #: Execution backend for stage 3 ("serial" | "simulated" | "parallel").
+    #: None defers to the REPRO_BACKEND environment default.  All backends
+    #: produce byte-identical output on the same seed.
+    backend: str | None = None
+    #: Worker processes for the parallel backend (None → REPRO_WORKERS).
+    num_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -148,6 +154,8 @@ def _pipeline_for(config: PipelineConfig) -> SinglePulsePipeline:
         seed=config.seed,
         fault_config=config.fault_config,
         obs_config=config.obs_config,
+        backend=config.backend,
+        num_workers=config.num_workers,
     )
 
 
@@ -241,21 +249,27 @@ def run_drapid(
     if dfs is None:
         dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                         obs=obs_session)
+    own_ctx = ctx is None
     if ctx is None:
         ctx = SparkletContext(app_name="drapid", default_parallelism=4,
-                              obs=obs_session)
-    data_path, cluster_path = upload_observations(dfs, observations)
-    grids = {survey.name: observations[0].grid}
-    if total_cores is not None:
-        driver = DRapidDriver.with_paper_partitioning(
-            ctx, dfs, grids=grids, total_cores=total_cores, params=config.params
-        )
-        if config.fault_config is not None:
-            ctx.install_faults(config.fault_config)
-    else:
-        driver = DRapidDriver(
-            ctx=ctx, dfs=dfs, grids=grids, params=config.params,
-            num_partitions=config.num_partitions,
-            fault_config=config.fault_config,
-        )
-    return driver.run(data_path, cluster_path, ml_output_path=ml_output_path)
+                              obs=obs_session, backend=config.backend,
+                              num_workers=config.num_workers)
+    try:
+        data_path, cluster_path = upload_observations(dfs, observations)
+        grids = {survey.name: observations[0].grid}
+        if total_cores is not None:
+            driver = DRapidDriver.with_paper_partitioning(
+                ctx, dfs, grids=grids, total_cores=total_cores, params=config.params
+            )
+            if config.fault_config is not None:
+                ctx.install_faults(config.fault_config)
+        else:
+            driver = DRapidDriver(
+                ctx=ctx, dfs=dfs, grids=grids, params=config.params,
+                num_partitions=config.num_partitions,
+                fault_config=config.fault_config,
+            )
+        return driver.run(data_path, cluster_path, ml_output_path=ml_output_path)
+    finally:
+        if own_ctx:
+            ctx.close()

@@ -50,6 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--observations", type=int, default=3)
     ident.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="2")
     ident.add_argument("--seed", type=int, default=0)
+    ident.add_argument("--backend", choices=["serial", "simulated", "parallel"],
+                       default=None,
+                       help="execution backend (default: REPRO_BACKEND or serial)")
+    ident.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for --backend parallel")
     ident.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write an observability event log (JSONL) here")
 
@@ -70,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="inject a driver crash after this batch and recover")
     stream.add_argument("--model", default=None, metavar="PATH",
                         help="saved classifier for in-stream scoring")
+    stream.add_argument("--backend", choices=["serial", "simulated", "parallel"],
+                        default=None,
+                        help="execution backend (default: REPRO_BACKEND or serial)")
+    stream.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for --backend parallel")
     stream.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write an observability event log (JSONL) here")
 
@@ -144,6 +154,7 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         survey=args.survey, scheme=args.scheme, seed=args.seed,
         n_pulsars=args.pulsars, n_observations=args.observations,
         classify=False, obs_config=session,
+        backend=args.backend, num_workers=args.workers,
     )
     result = run_pipeline(config)
     if session is not None:
@@ -168,6 +179,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         pipeline=PipelineConfig(
             survey=args.survey, seed=args.seed, n_pulsars=args.pulsars,
             n_observations=args.observations, obs_config=session,
+            backend=args.backend, num_workers=args.workers,
         ),
         batch_interval_s=args.batch_interval,
         arrival_rate=args.arrival_rate,

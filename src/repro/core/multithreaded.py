@@ -2,10 +2,13 @@
 
 Two pieces:
 
-- :class:`MultithreadedRapid` really runs cluster-search tasks through a
-  ``ThreadPoolExecutor`` (results exact; useful as a correctness baseline
-  and a demonstration of the shared-memory programming model), recording
-  per-task durations;
+- :class:`MultithreadedRapid` really runs cluster-search tasks concurrently
+  (results exact; useful as a correctness baseline and a demonstration of
+  the shared-memory programming model), recording per-task durations.  It
+  routes through the Sparklet worker pool
+  (:func:`repro.sparklet.executor.run_callables`) so the repo has exactly
+  one parallel code path — true process parallelism, not GIL-limited
+  threads;
 - :class:`ThreadedBoxModel` replays measured task durations on a model of
   the paper's single machine — an i7-7800X-class part (6 cores / 12 SMT
   threads, overclocked to 4.5 GHz vs. the cluster's 3.2 GHz nodes) — to
@@ -16,11 +19,10 @@ Two pieces:
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.sparklet.executor import run_callables
 from repro.sparklet.simulation import greedy_makespan
 
 
@@ -32,13 +34,12 @@ class TaskRecord:
 
 @dataclass
 class MultithreadedRapid:
-    """Run independent cluster-search tasks on a thread pool.
+    """Run independent cluster-search tasks on the shared worker pool.
 
     ``tasks`` are zero-argument callables (typically
     ``functools.partial(run_rapid_on_cluster, ...)``).  Durations are
-    measured per task; with CPython's GIL the pool provides concurrency but
-    not parallel speedup — which is fine, the speedup curve comes from
-    :class:`ThreadedBoxModel`.
+    measured per task inside the worker that ran it; results come back in
+    submission order.
     """
 
     n_threads: int = 4
@@ -47,19 +48,8 @@ class MultithreadedRapid:
     def run(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
         if self.n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
-        self.records = []
-
-        def timed(idx_task: tuple[int, Callable[[], object]]) -> tuple[int, float, object]:
-            idx, task = idx_task
-            t0 = time.perf_counter()
-            out = task()
-            return idx, time.perf_counter() - t0, out
-
-        results: list[object] = [None] * len(tasks)
-        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            for idx, duration, out in pool.map(timed, enumerate(tasks)):
-                self.records.append(TaskRecord(idx, duration))
-                results[idx] = out
+        results, durations = run_callables(list(tasks), self.n_threads)
+        self.records = [TaskRecord(i, d) for i, d in enumerate(durations)]
         return results
 
     @property

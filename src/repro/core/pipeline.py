@@ -74,6 +74,12 @@ class SinglePulsePipeline:
     #: Observability: an ObsConfig (or a shared ObsSession) wires one event
     #: log + span tree + registry through every layer the run touches.
     obs_config: "ObsConfig | ObsSession | None" = None
+    #: Execution backend for stage 3 ("serial" | "simulated" | "parallel";
+    #: None → REPRO_BACKEND environment default).  Output is byte-identical
+    #: across backends on the same seed.
+    backend: str | None = None
+    #: Worker processes for the parallel backend (None → REPRO_WORKERS).
+    num_workers: int | None = None
     #: Set by :meth:`from_config` (the ``repro.api`` path).  Direct
     #: construction still works but is deprecated in favour of
     #: ``repro.api.run_pipeline``.
@@ -128,19 +134,25 @@ class SinglePulsePipeline:
         if dfs is None:
             dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                             obs=self._obs)
+        own_ctx = ctx is None
         if ctx is None:
             ctx = SparkletContext(app_name="drapid", default_parallelism=4,
-                                  obs=self._obs)
-        data_path, cluster_path = upload_observations(dfs, observations)
-        grids = {self.survey.name: observations[0].grid} if observations else {}
-        driver = DRapidDriver(
-            ctx=ctx, dfs=dfs, grids=grids, params=self.params,
-            num_partitions=self.num_partitions, fault_config=self.fault_config,
-        )
-        result = driver.run(data_path, cluster_path)
-        # Round-trip check: the ML files on the DFS reproduce the pulses.
-        assert len(read_ml_batch(dfs, result.ml_output_path)) == result.n_pulses
-        return result
+                                  obs=self._obs, backend=self.backend,
+                                  num_workers=self.num_workers)
+        try:
+            data_path, cluster_path = upload_observations(dfs, observations)
+            grids = {self.survey.name: observations[0].grid} if observations else {}
+            driver = DRapidDriver(
+                ctx=ctx, dfs=dfs, grids=grids, params=self.params,
+                num_partitions=self.num_partitions, fault_config=self.fault_config,
+            )
+            result = driver.run(data_path, cluster_path)
+            # Round-trip check: the ML files on the DFS reproduce the pulses.
+            assert len(read_ml_batch(dfs, result.ml_output_path)) == result.n_pulses
+            return result
+        finally:
+            if own_ctx:
+                ctx.close()
 
     # -- stage 4 -----------------------------------------------------------
     def to_benchmark(

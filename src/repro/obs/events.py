@@ -33,6 +33,12 @@ EXECUTOR_BLACKLISTED = "executor_blacklisted"
 SHUFFLE_RECOVER = "shuffle_recover"
 FAULT_INJECTED = "fault_injected"
 
+# Parallel backend: worker-process lifecycle and shared-memory segments.
+WORKER_SPAWNED = "worker_spawned"
+WORKER_EXITED = "worker_exited"
+SHM_SEGMENT_CREATED = "shm_segment_created"
+SHM_SEGMENT_RELEASED = "shm_segment_released"
+
 # Span tracer.
 SPAN_START = "span_start"
 SPAN_END = "span_end"

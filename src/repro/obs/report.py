@@ -20,9 +20,13 @@ from repro.obs.events import (
     EXECUTOR_BLACKLISTED,
     EXECUTOR_LOST,
     FAULT_INJECTED,
+    SHM_SEGMENT_CREATED,
+    SHM_SEGMENT_RELEASED,
     SIM_STAGE,
     SPAN_END,
     SPAN_START,
+    WORKER_EXITED,
+    WORKER_SPAWNED,
     read_events,
 )
 from repro.obs.replay import replay_job_metrics
@@ -96,9 +100,38 @@ def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
             "duration_s": t.duration_s,
             "attempts": t.attempts,
             "executor_id": t.executor_id,
+            "worker_id": t.worker_id,
         }
         for label, t in slowest
     ]
+
+    # -- worker processes (parallel backend) -------------------------------
+    # Per-worker task-time totals expose placement skew: with the static
+    # partition % num_workers rule, an unlucky residue class shows up here
+    # as one worker's busy-seconds towering over the rest.
+    per_worker: dict[str, dict[str, Any]] = {}
+    for _label, t in all_tasks:
+        if not t.worker_id:
+            continue
+        w = per_worker.setdefault(
+            t.worker_id, {"worker_id": t.worker_id, "n_tasks": 0, "busy_s": 0.0}
+        )
+        w["n_tasks"] += 1
+        w["busy_s"] += t.duration_s
+    busy = [w["busy_s"] for w in per_worker.values()]
+    mean_busy = sum(busy) / len(busy) if busy else 0.0
+    for w in per_worker.values():
+        w["skew"] = w["busy_s"] / mean_busy if mean_busy > 0 else 0.0
+    shm_created = [e for e in events if e["type"] == SHM_SEGMENT_CREATED]
+    shm_released = [e for e in events if e["type"] == SHM_SEGMENT_RELEASED]
+    workers = {
+        "per_worker": sorted(per_worker.values(), key=lambda w: w["worker_id"]),
+        "spawned": sum(1 for e in events if e["type"] == WORKER_SPAWNED),
+        "exited": sum(1 for e in events if e["type"] == WORKER_EXITED),
+        "shm_segments_created": len(shm_created),
+        "shm_bytes_created": sum(e.get("nbytes", 0) for e in shm_created),
+        "shm_segments_released": len(shm_released),
+    }
 
     # -- executor / fault / dfs activity -----------------------------------
     lost = [e for e in events if e["type"] == EXECUTOR_LOST]
@@ -165,6 +198,7 @@ def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
             "overflow": skew_counts[-1],
         },
         "stragglers": stragglers,
+        "workers": workers,
         "executors": {
             "lost": [e.get("executor_id", "?") for e in lost],
             "blacklisted": [e.get("executor_id", "?") for e in blacklisted],
@@ -220,10 +254,28 @@ def render_text(report: dict[str, Any]) -> str:
         out.append("\n== slowest tasks ==")
         out.append(
             _table(
-                ["stage", "partition", "duration s", "attempts", "executor"],
+                ["stage", "partition", "duration s", "attempts", "executor", "worker"],
                 [[r["stage"], r["partition"], r["duration_s"], r["attempts"],
-                  r["executor_id"]] for r in report["stragglers"]],
+                  r["executor_id"], r.get("worker_id", "") or "-"]
+                 for r in report["stragglers"]],
             )
+        )
+
+    w = report.get("workers", {})
+    if w.get("per_worker"):
+        out.append("\n== worker processes ==")
+        out.append(
+            _table(
+                ["worker", "tasks", "busy s", "skew"],
+                [[r["worker_id"], r["n_tasks"], r["busy_s"], r["skew"]]
+                 for r in w["per_worker"]],
+            )
+        )
+        out.append(
+            f"spawned={w['spawned']}  exited={w['exited']}  "
+            f"shm-segments={w['shm_segments_created']} "
+            f"({w['shm_bytes_created']} B created, "
+            f"{w['shm_segments_released']} released)"
         )
 
     ex = report["executors"]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import itertools
+import os
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.obs.session import ObsSession
+from repro.sparklet import executor as executor_mod
 from repro.sparklet.metrics import JobMetrics
 from repro.sparklet.rdd import ParallelCollectionRDD, RDD, TextFileRDD
 from repro.sparklet.scheduler import DAGScheduler, Runtime
@@ -14,6 +17,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import ObsConfig
     from repro.sparklet.faults import FaultConfig, FaultInjector
 
+#: Distinguishes contexts within one driver process (namespaces worker-side
+#: payload caches, RDD caches and accumulator ids on the shared pool).
+_CTX_IDS = itertools.count(1)
+
 
 class SparkletContext:
     """Owns the runtime (shuffle storage, cache) and the DAG scheduler.
@@ -22,25 +29,78 @@ class SparkletContext:
     :meth:`text_file`, run actions on them.  Job metrics for every executed
     action accumulate in :attr:`scheduler.job_history` and are what the
     cluster simulator consumes.
+
+    ``backend`` selects the execution engine — ``"serial"`` (reference,
+    default), ``"simulated"`` (serial + discrete-event replay) or
+    ``"parallel"`` (true multiprocessing over ``num_workers`` long-lived
+    worker processes with shared-memory transport).  When not given, the
+    ``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment variables decide —
+    that is how CI runs the whole suite under the parallel backend.  All
+    backends produce byte-identical results on the same seed.
     """
 
     def __init__(self, app_name: str = "sparklet", default_parallelism: int = 4,
                  max_task_retries: int = 3, num_executors: int = 4,
                  fault_config: "FaultConfig | None" = None,
-                 obs: "ObsConfig | ObsSession | None" = None) -> None:
+                 obs: "ObsConfig | ObsSession | None" = None,
+                 backend: str | None = None,
+                 num_workers: int | None = None,
+                 io_wait_s_per_mb: float = 0.0) -> None:
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         self.app_name = app_name
         self.default_parallelism = default_parallelism
+        self.uid = f"ctx{os.getpid():x}-{next(_CTX_IDS)}"
+        self.backend_name = backend or executor_mod.default_backend_name()
+        self.num_workers = (
+            max(1, int(num_workers))
+            if num_workers is not None
+            else executor_mod.default_num_workers()
+        )
         #: Observability session; an existing ObsSession is shared (one event
         #: stream per run), an ObsConfig builds a fresh one, None is a no-op.
         self.obs = ObsSession.from_config(obs)
-        self.runtime = Runtime(num_executors=num_executors, obs=self.obs)
+        engine = executor_mod.make_backend(
+            self.backend_name,
+            ctx_uid=self.uid,
+            num_workers=self.num_workers,
+            obs=self.obs,
+            io_wait_s_per_mb=io_wait_s_per_mb,
+        )
+        self.runtime = Runtime(num_executors=num_executors, obs=self.obs,
+                               backend=engine, io_wait_s_per_mb=io_wait_s_per_mb)
+        if isinstance(engine, executor_mod.ParallelBackend):
+            # Shuffle storage that keeps shared-memory bucket refs undecoded.
+            self.runtime.shuffle = executor_mod.ShmShuffleManager(
+                owner=self.uid, obs=self.obs
+            )
         self.scheduler = DAGScheduler(self.runtime, max_task_retries=max_task_retries)
         self._rdd_counter = 0
         self._shuffle_counter = 0
+        self._closed = False
         if fault_config is not None:
             self.install_faults(fault_config)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release backend state: shared-memory segments, worker-side caches.
+
+        Idempotent.  The shared worker pool itself stays up (it serves every
+        context in the process and is reaped at interpreter exit).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        shuffle = self.runtime.shuffle
+        if isinstance(shuffle, executor_mod.ShmShuffleManager):
+            shuffle.release_all()
+        self.runtime.backend.close()
+
+    def __enter__(self) -> "SparkletContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def install_faults(self, config: "FaultConfig") -> "FaultInjector":
         """Arm the seeded rule-driven fault injector for subsequent jobs."""
@@ -79,7 +139,10 @@ class SparkletContext:
         from repro.sparklet.shared import Accumulator
 
         self._accumulator_counter = getattr(self, "_accumulator_counter", 0) + 1
-        acc = Accumulator(self._accumulator_counter, zero, op or operator.add)
+        # String ids namespaced by context uid: unambiguous in the worker-side
+        # registry when several contexts share the process-wide pool.
+        acc = Accumulator(f"{self.uid}:a{self._accumulator_counter}", zero,
+                          op or operator.add)
         self.runtime.accumulators.append(acc)
         return acc
 

@@ -115,6 +115,8 @@ class TaskMetrics:
     attempts: int = 1
     #: Executor the successful attempt ran on (fault-tolerance bookkeeping).
     executor_id: str = ""
+    #: Worker process the attempt ran on ("" under the serial backend).
+    worker_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able payload carried by ``task_end`` events.
@@ -135,6 +137,7 @@ class TaskMetrics:
             "locality": list(self.locality),
             "attempts": self.attempts,
             "executor_id": self.executor_id,
+            "worker_id": self.worker_id,
         }
 
     @classmethod

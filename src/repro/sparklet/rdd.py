@@ -117,6 +117,17 @@ class RDD:
         self.name = name
         self._cached = False
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Drop the driver context when shipping lineage to a pool worker.
+
+        Workers compute partitions purely from the lineage graph plus the
+        runtime handed to ``compute``; the context (counters, obs session,
+        metrics history) stays driver-side and must not be pickled.
+        """
+        state = self.__dict__.copy()
+        state["ctx"] = None
+        return state
+
     # -- to be provided by subclasses ------------------------------------
     def compute(self, split: int, runtime: "Runtime") -> Iterator[Any]:
         raise NotImplementedError
@@ -558,6 +569,21 @@ class ParallelCollectionRDD(RDD):
         return iter(self._slices[split])
 
 
+class _BlockSnapshot:
+    """Pickle-time stand-in for the DFS client inside pool workers.
+
+    Holds the raw bytes of every block a :class:`TextFileRDD` may read,
+    as uint8 arrays so protocol-5 pickling ships them out-of-band through
+    shared memory instead of through the pickle stream.
+    """
+
+    def __init__(self, blocks: dict[Any, Any]) -> None:
+        self._blocks = blocks
+
+    def read_block(self, block_id: Any) -> bytes:
+        return self._blocks[block_id].tobytes()
+
+
 class TextFileRDD(RDD):
     """Lines of a DFS file, one partition per block.
 
@@ -578,6 +604,19 @@ class TextFileRDD(RDD):
         if split < len(self._locations):
             return tuple(sorted(self._locations[split][1]))
         return ()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = super().__getstate__()
+        if not isinstance(self.dfs, _BlockSnapshot):
+            import numpy as np
+
+            state["dfs"] = _BlockSnapshot(
+                {
+                    bid: np.frombuffer(self.dfs.read_block(bid), dtype=np.uint8)
+                    for bid, _locs in self._locations
+                }
+            )
+        return state
 
     def compute(self, split: int, runtime: "Runtime") -> Iterator[Any]:
         blocks = self._locations

@@ -1,9 +1,14 @@
 """DAG scheduler: splits lineage into stages and executes tasks.
 
-Execution is serial and *real* — every task runs and produces exact results —
-but each task is metered (duration, record/byte counts, shuffle volumes,
-locality preferences).  The resulting :class:`~repro.sparklet.metrics
-.JobMetrics` calibrate the discrete-event cluster simulator.
+Execution is *real* — every task runs and produces exact results — and each
+task is metered (duration, record/byte counts, shuffle volumes, locality
+preferences).  The resulting :class:`~repro.sparklet.metrics.JobMetrics`
+calibrate the discrete-event cluster simulator.  *How* the tasks of one
+stage run is delegated to the runtime's execution backend
+(:mod:`repro.sparklet.executor`): inline in the driver (``serial``, the
+reference), inline plus a discrete-event replay (``simulated``), or
+concurrently on a pool of worker processes with shared-memory transport
+(``parallel``) — all three produce byte-identical results.
 
 Fault tolerance follows Spark's lineage model end to end:
 
@@ -30,12 +35,12 @@ installed via ``fault_config``.
 
 from __future__ import annotations
 
-import time
 from contextlib import nullcontext
 from typing import Any, Callable, Iterator
 
 from repro.obs import events as obs_events
 from repro.obs.session import NULL_OBS, ObsSession
+from repro.sparklet.executor import SerialBackend
 from repro.sparklet.faults import (
     ExecutorLostFailure,
     ExecutorPool,
@@ -43,7 +48,7 @@ from repro.sparklet.faults import (
     FetchFailedException,
     TaskFailure,
 )
-from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics, estimate_bytes
+from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
 from repro.sparklet.rdd import (
     Dependency,
     NarrowDependency,
@@ -65,8 +70,19 @@ __all__ = [
 class Runtime:
     """Per-context mutable execution state shared by tasks."""
 
-    def __init__(self, num_executors: int = 4, obs: ObsSession = NULL_OBS) -> None:
+    def __init__(
+        self,
+        num_executors: int = 4,
+        obs: ObsSession = NULL_OBS,
+        backend: Any | None = None,
+        io_wait_s_per_mb: float = 0.0,
+    ) -> None:
         self.shuffle = ShuffleManager()
+        #: How tasks of one stage are executed (serial / simulated / parallel).
+        self.backend = backend if backend is not None else SerialBackend()
+        #: Modeled storage-stall rate charged per MB of task input (see
+        #: executor._io_wait); identical in every backend so outputs match.
+        self.io_wait_s_per_mb = io_wait_s_per_mb
         #: Observability session shared with the owning context.  The
         #: disabled singleton makes every emit a no-op behind one attribute
         #: check (< 2% end-to-end, asserted by bench_observability).
@@ -225,6 +241,7 @@ class DAGScheduler:
             obs.emit(obs_events.JOB_END, job_id=job.job_id,
                      n_stages=len(job.stages), n_tasks=job.num_tasks)
             obs.registry.counter("sparklet.jobs").inc()
+        self.runtime.backend.on_job_end(self, job)
         return results, job
 
     # -- fault recovery ----------------------------------------------------
@@ -379,7 +396,6 @@ class DAGScheduler:
             obs.emit(obs_events.STAGE_START, stage_id=sm.stage_id, attempt=sm.attempt,
                      name=sm.name, is_shuffle_map=True,
                      n_partitions=stage.rdd.num_partitions)
-        part = dep.partitioner
         todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
         shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
         stage_span = (
@@ -389,62 +405,9 @@ class DAGScheduler:
             else nullcontext()
         )
         with stage_span:
-            for split in todo:
-                def body(split: int = split) -> TaskMetrics:
-                    t0 = time.perf_counter()
-                    records = list(stage.rdd.iterator(split, self.runtime))
-                    buckets: dict[int, list[Any]] = {}
-                    bucket_weights: dict[int, int] = {}  # input records feeding each bucket
-                    if dep.map_side_combine and dep.aggregator is not None:
-                        agg = dep.aggregator
-                        combined: dict[Any, Any] = {}
-                        key_counts: dict[Any, int] = {}
-                        for k, v in records:
-                            combined[k] = (
-                                agg.merge_value(combined[k], v)
-                                if k in combined
-                                else agg.create_combiner(v)
-                            )
-                            key_counts[k] = key_counts.get(k, 0) + 1
-                        for k, c in combined.items():
-                            idx = part.partition_for(k)
-                            buckets.setdefault(idx, []).append((k, c))
-                            bucket_weights[idx] = bucket_weights.get(idx, 0) + key_counts[k]
-                    else:
-                        for rec in records:
-                            idx = part.partition_for(rec[0])
-                            buckets.setdefault(idx, []).append(rec)
-                            bucket_weights[idx] = bucket_weights.get(idx, 0) + 1
-                    duration = time.perf_counter() - t0
-                    # Size estimation happens outside the timed region (it is
-                    # instrumentation, not work the real engine would do), and
-                    # once per task: buckets are sized by the input bytes they
-                    # carry (task-level average × contributing input records).
-                    bytes_in = estimate_bytes(records)
-                    n_out = sum(len(v) for v in buckets.values())
-                    avg = bytes_in / len(records) if records else 0.0
-                    written = 0
-                    for reduce_idx, items in buckets.items():
-                        written += self.runtime.shuffle.write(
-                            dep.shuffle_id, reduce_idx, items,
-                            nbytes=max(1, int(avg * bucket_weights[reduce_idx])),
-                            map_partition=split,
-                        )
-                    return TaskMetrics(
-                        stage_id=stage.stage_id,
-                        partition=split,
-                        duration_s=duration,
-                        records_in=len(records),
-                        records_out=n_out,
-                        bytes_in=bytes_in,
-                        bytes_out=written,
-                        shuffle_write_bytes=written,
-                        locality=stage.rdd.preferred_locations(split),
-                    )
-
-                task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
-                sm.tasks.append(task)
-                self._map_outputs.setdefault(dep.shuffle_id, {})[split] = task.executor_id
+            self.runtime.backend.run_map_stage(
+                self, stage, dep, todo, sm, job, shuffle_reads
+            )
 
         if not self._missing_map_partitions(stage):
             self._completed_shuffles.add(dep.shuffle_id)
@@ -473,7 +436,6 @@ class DAGScheduler:
             obs.emit(obs_events.STAGE_START, stage_id=sm.stage_id, attempt=sm.attempt,
                      name=sm.name, is_shuffle_map=False,
                      n_partitions=stage.rdd.num_partitions)
-        results: list[Any] = []
         todo = partitions if partitions is not None else list(range(stage.rdd.num_partitions))
         shuffle_reads = tuple(_shuffle_reads_of(stage.rdd))
 
@@ -484,31 +446,9 @@ class DAGScheduler:
             else nullcontext()
         )
         with stage_span:
-            for split in todo:
-                def body(split: int = split) -> TaskMetrics:
-                    t0 = time.perf_counter()
-                    records = list(stage.rdd.iterator(split, self.runtime))
-                    out = func(iter(records))
-                    duration = time.perf_counter() - t0
-                    sread = sum(
-                        self.runtime.shuffle.fetch_bytes(sid, split) for sid in shuffle_reads
-                    )
-                    task = TaskMetrics(
-                        stage_id=stage.stage_id,
-                        partition=split,
-                        duration_s=duration,
-                        records_in=len(records),
-                        records_out=len(records),
-                        bytes_in=estimate_bytes(records),
-                        shuffle_read_bytes=sread,
-                        locality=stage.rdd.preferred_locations(split),
-                    )
-                    task._result = out  # type: ignore[attr-defined]
-                    return task
-
-                task = self._execute_task(stage, split, body, sm, job, shuffle_reads)
-                results.append(task._result)  # type: ignore[attr-defined]
-                sm.tasks.append(task)
+            results = self.runtime.backend.run_result_stage(
+                self, stage, func, todo, sm, job, shuffle_reads
+            )
         if obs.enabled:
             obs.emit(obs_events.STAGE_END, stage_id=sm.stage_id, attempt=sm.attempt,
                      n_tasks=len(sm.tasks), shuffle_write_bytes=0)

@@ -58,7 +58,7 @@ class Accumulator(Generic[T]):
     without it a faulted run would over-count relative to a fault-free run.
     """
 
-    def __init__(self, acc_id: int, zero: T, op: Callable[[T, T], T]) -> None:
+    def __init__(self, acc_id: int | str, zero: T, op: Callable[[T, T], T]) -> None:
         self._id = acc_id
         self._zero = zero
         self._value = zero
@@ -69,6 +69,17 @@ class Accumulator(Generic[T]):
         self._in_task = False
         #: Logical tasks whose adds have already been committed.
         self._committed: set[tuple[int, int]] = set()
+
+    def __reduce__(self):
+        """Pickle by identity, not by state.
+
+        A task closure shipped to a worker references the driver's
+        accumulator; unpickling there resolves through the worker's
+        per-process registry so every task in that worker shares one
+        instance per logical accumulator, and its buffered adds travel
+        back to the driver for the usual exactly-once commit.
+        """
+        return (_resolve_accumulator, (self._id, self._zero, self._op))
 
     # -- task side ----------------------------------------------------------
     def add(self, amount: T) -> None:
@@ -116,3 +127,17 @@ class Accumulator(Generic[T]):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Accumulator id={self._id} value={self._value!r}>"
+
+
+def _resolve_accumulator(acc_id, zero, op) -> "Accumulator":
+    """Unpickle hook: inside a pool worker, dedupe by accumulator id."""
+    from repro.sparklet.executor import worker_accumulator_registry
+
+    registry = worker_accumulator_registry()
+    if registry is None:
+        return Accumulator(acc_id, zero, op)
+    acc = registry.get(acc_id)
+    if acc is None:
+        acc = Accumulator(acc_id, zero, op)
+        registry[acc_id] = acc
+    return acc

@@ -480,9 +480,11 @@ def stream_observations(
     if dfs is None:
         dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                         obs=session)
+    own_ctx = ctx is None
     if ctx is None:
         ctx = SparkletContext(app_name="streaming", default_parallelism=4,
-                              obs=session)
+                              obs=session, backend=config.pipeline.backend,
+                              num_workers=config.pipeline.num_workers)
     if model is not None:
         scorer = StreamScorer(model)
     elif config.model_path is not None:
@@ -521,6 +523,8 @@ def stream_observations(
         read_ml_batch(dfs, f"{engine._batch_root(b)}/ml")
         for b in engine.committed
     ])
+    if own_ctx:
+        ctx.close()
     predicted = scorer.score(pulse_batch) if scorer is not None else None
     if session.enabled:
         session.registry.counter("streaming.batches").inc(len(engine.stats))

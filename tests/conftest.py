@@ -32,6 +32,18 @@ def ctx() -> SparkletContext:
     return SparkletContext(app_name="test", default_parallelism=4)
 
 
+@pytest.fixture
+def serial_ctx() -> SparkletContext:
+    """Explicitly in-process execution, regardless of REPRO_BACKEND.
+
+    For tests that observe driver-side effects of task closures (lists
+    appended to from ``map``/``foreach``) — semantics that only hold when
+    tasks run in the driver process.
+    """
+    return SparkletContext(app_name="test", default_parallelism=4,
+                           backend="serial")
+
+
 @pytest.fixture(scope="session")
 def observation():
     """One observation of a bright pulsar plus noise/RFI (session-cached)."""

@@ -69,7 +69,8 @@ class TestTransformations:
         with pytest.raises(ValueError):
             rdd.sample(1.5)
 
-    def test_chaining_is_lazy(self, ctx):
+    def test_chaining_is_lazy(self, serial_ctx):
+        ctx = serial_ctx  # driver-side side effects: serial semantics only
         calls = []
 
         def probe(x):
@@ -119,14 +120,16 @@ class TestActions:
         )
         assert got == (10, 45)
 
-    def test_foreach_side_effects(self, ctx):
+    def test_foreach_side_effects(self, serial_ctx):
+        ctx = serial_ctx  # driver-side side effects: serial semantics only
         seen = []
         ctx.parallelize([1, 2, 3], 2).foreach(seen.append)
         assert sorted(seen) == [1, 2, 3]
 
 
 class TestCaching:
-    def test_cache_avoids_recompute(self, ctx):
+    def test_cache_avoids_recompute(self, serial_ctx):
+        ctx = serial_ctx  # driver-side side effects: serial semantics only
         calls = []
 
         def probe(x):
@@ -138,7 +141,8 @@ class TestCaching:
         rdd.collect()
         assert calls == [1, 2, 3]  # computed once
 
-    def test_unpersist_recomputes(self, ctx):
+    def test_unpersist_recomputes(self, serial_ctx):
+        ctx = serial_ctx  # driver-side side effects: serial semantics only
         calls = []
 
         def probe(x):
