@@ -40,11 +40,13 @@ from repro.streaming.engine import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.drapid import DRapidResult
     from repro.dfs import DFSClient
+    from repro.memo.config import MemoConfig
     from repro.obs import ObsConfig, ObsSession
     from repro.sparklet.context import SparkletContext
     from repro.sparklet.faults import FaultConfig
 
 __all__ = [
+    "MemoConfig",
     "PipelineConfig",
     "StreamingConfig",
     "run_pipeline",
@@ -52,6 +54,16 @@ __all__ = [
     "run_streaming",
     "resolve_survey",
 ]
+
+
+def __getattr__(name: str):
+    # MemoConfig is re-exported lazily so `from repro.api import MemoConfig`
+    # works without repro.api importing repro.memo at module load.
+    if name == "MemoConfig":
+        from repro.memo.config import MemoConfig
+
+        return MemoConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Survey presets addressable by name in :class:`PipelineConfig`.
 _SURVEYS: dict[str, SurveyConfig] = {
@@ -104,6 +116,11 @@ class PipelineConfig:
     backend: str | None = None
     #: Worker processes for the parallel backend (None → REPRO_WORKERS).
     num_workers: int | None = None
+    #: Lineage-hash memoization + persistent candidate recording (see
+    #: :class:`repro.memo.MemoConfig`).  None defers to the ``REPRO_MEMO``
+    #: environment default; excluded from equality/digests — caching is an
+    #: operational knob, not part of what the run computes.
+    memo_config: "MemoConfig | None" = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -156,6 +173,7 @@ def _pipeline_for(config: PipelineConfig) -> SinglePulsePipeline:
         obs_config=config.obs_config,
         backend=config.backend,
         num_workers=config.num_workers,
+        memo_config=config.memo_config,
     )
 
 
@@ -239,6 +257,7 @@ def run_drapid(
     from repro.core.drapid import DRapidDriver
     from repro.dfs import DataNode, DFSClient
     from repro.io.spe_files import upload_observations
+    from repro.memo.config import resolve_memo
     from repro.obs.session import ObsSession
     from repro.sparklet.context import SparkletContext
 
@@ -250,10 +269,11 @@ def run_drapid(
         dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                         obs=obs_session)
     own_ctx = ctx is None
+    memo = resolve_memo(config.memo_config, fault_config=config.fault_config)
     if ctx is None:
         ctx = SparkletContext(app_name="drapid", default_parallelism=4,
                               obs=obs_session, backend=config.backend,
-                              num_workers=config.num_workers)
+                              num_workers=config.num_workers, memo=memo)
     try:
         data_path, cluster_path = upload_observations(dfs, observations)
         grids = {survey.name: observations[0].grid}
@@ -269,7 +289,26 @@ def run_drapid(
                 num_partitions=config.num_partitions,
                 fault_config=config.fault_config,
             )
-        return driver.run(data_path, cluster_path, ml_output_path=ml_output_path)
+        result = driver.run(data_path, cluster_path, ml_output_path=ml_output_path)
+        if memo is not None and memo.config.store_candidates:
+            from repro.memo.candidates import record_drapid_run
+
+            record_drapid_run(
+                memo, result=result,
+                config={
+                    "survey": survey.name,
+                    "params": config.params,
+                    "num_partitions": driver.num_partitions,
+                    "seed": config.seed,
+                },
+                dfs=dfs, data_path=data_path, cluster_path=cluster_path,
+                grids=grids, params=config.params,
+                num_partitions=driver.num_partitions,
+                survey=survey.name, seed=config.seed, obs=obs_session,
+            )
+        return result
     finally:
+        if memo is not None:
+            memo.close()
         if own_ctx:
             ctx.close()

@@ -8,6 +8,8 @@ Subcommands mirror the pipeline stages a survey scientist would run:
 - ``classify``     — build a labeled benchmark and cross-validate a learner
 - ``simulate``     — replay an identification job on a configurable cluster
 - ``trace-report`` — summarize an observability event log (``--trace-out``)
+- ``candidates``   — query the persistent candidate database (``--memo-dir``)
+- ``reproduce``    — replay the lineage slice behind one stored candidate
 
 The pipeline-running commands go through :mod:`repro.api` (the blessed
 facade); ``--trace-out PATH`` on ``identify``/``simulate`` writes a JSONL
@@ -57,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --backend parallel")
     ident.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write an observability event log (JSONL) here")
+    ident.add_argument("--memo-dir", default=None, metavar="PATH",
+                       help="enable lineage-hash memoization + candidate "
+                            "recording, persisted under this directory")
 
     stream = sub.add_parser("stream", help="run the micro-batch streaming engine")
     stream.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
@@ -111,6 +116,36 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("log", help="path to a JSONL event log (--trace-out)")
     trace.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
+
+    cand = sub.add_parser("candidates",
+                          help="query the persistent candidate database")
+    cand.add_argument("--memo-dir", default=None, metavar="PATH",
+                      help="memoization directory (default: REPRO_MEMO_DIR "
+                           "or the temp-dir default)")
+    cand.add_argument("--db", default=None, metavar="PATH",
+                      help="candidate database path (overrides --memo-dir)")
+    cand.add_argument("--runs", action="store_true",
+                      help="list recorded runs instead of candidates")
+    cand.add_argument("--dm-min", type=float, default=None)
+    cand.add_argument("--dm-max", type=float, default=None)
+    cand.add_argument("--snr-min", type=float, default=None)
+    cand.add_argument("--snr-max", type=float, default=None)
+    cand.add_argument("--time-min", type=float, default=None)
+    cand.add_argument("--time-max", type=float, default=None)
+    cand.add_argument("--obs-key", default=None,
+                      help="restrict to one observation key")
+    cand.add_argument("--run-id", type=int, default=None)
+    cand.add_argument("--limit", type=int, default=20)
+
+    repr_cmd = sub.add_parser(
+        "reproduce",
+        help="replay the lineage slice behind one stored candidate")
+    repr_cmd.add_argument("candidate_id", type=int)
+    repr_cmd.add_argument("--memo-dir", default=None, metavar="PATH",
+                          help="memoization directory (default: "
+                               "REPRO_MEMO_DIR or the temp-dir default)")
+    repr_cmd.add_argument("--db", default=None, metavar="PATH",
+                          help="candidate database path (overrides --memo-dir)")
     return parser
 
 
@@ -150,11 +185,17 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     from repro.api import PipelineConfig, run_pipeline
 
     session = _obs_session(args.trace_out)
+    memo_config = None
+    if args.memo_dir is not None:
+        from repro.memo import MemoConfig
+
+        memo_config = MemoConfig(dir=args.memo_dir)
     config = PipelineConfig(
         survey=args.survey, scheme=args.scheme, seed=args.seed,
         n_pulsars=args.pulsars, n_observations=args.observations,
         classify=False, obs_config=session,
         backend=args.backend, num_workers=args.workers,
+        memo_config=memo_config,
     )
     result = run_pipeline(config)
     if session is not None:
@@ -277,6 +318,74 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _memo_session(args: argparse.Namespace):
+    """A MemoSession for the candidate commands (env defaults apply)."""
+    import os
+
+    from repro.memo import MemoConfig, MemoSession
+
+    memo_dir = args.memo_dir or os.environ.get("REPRO_MEMO_DIR")
+    return MemoSession(MemoConfig(dir=memo_dir, db_path=args.db))
+
+
+def _cmd_candidates(args: argparse.Namespace) -> int:
+    session = _memo_session(args)
+    try:
+        if args.runs:
+            rows = session.db.runs(limit=args.limit)
+            if not rows:
+                print("no recorded runs")
+                return 0
+            print(f"{'run':>4}  {'kind':9s} {'survey':12s} {'seed':>5} "
+                  f"{'pulses':>6}  {'repro':5s}  lineage")
+            for r in rows:
+                print(f"{r['run_id']:>4}  {r['kind']:9s} "
+                      f"{(r['survey'] or '-'):12s} "
+                      f"{r['seed'] if r['seed'] is not None else '-':>5} "
+                      f"{r['n_pulses']:>6}  "
+                      f"{'yes' if r['reproducible'] else 'no':5s}  "
+                      f"{r['lineage_hash'][:12]}")
+            return 0
+        rows = session.db.query(
+            dm_min=args.dm_min, dm_max=args.dm_max,
+            snr_min=args.snr_min, snr_max=args.snr_max,
+            time_min=args.time_min, time_max=args.time_max,
+            observation_key=args.obs_key, run_id=args.run_id,
+            limit=args.limit,
+        )
+        if not rows:
+            print("no matching candidates")
+            return 0
+        print(f"{'id':>5}  {'run':>4}  {'observation':22s} {'cluster':>7} "
+              f"{'DM':>8}  {'SNR':>7}  {'time':>9}  psr")
+        for c in rows:
+            print(f"{c['candidate_id']:>5}  {c['run_id']:>4}  "
+                  f"{c['observation_key']:22s} {c['cluster_id']:>7} "
+                  f"{c['dm']:>8.2f}  {c['snr']:>7.2f}  {c['time_s']:>9.3f}  "
+                  f"{'yes' if c['is_pulsar'] else 'no'}")
+        return 0
+    finally:
+        session.close()
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.memo import reproduce_candidate
+
+    session = _memo_session(args)
+    try:
+        result = reproduce_candidate(session, args.candidate_id)
+    finally:
+        session.close()
+    print(f"candidate {args.candidate_id} "
+          f"(run {result.run_id}, observation {result.observation_key or '-'})")
+    if result.ok:
+        print(f"reproduced: stored ML row re-emitted byte-identical "
+              f"({len(result.replayed_rows)} rows replayed)")
+        return 0
+    print(f"NOT reproduced: {result.reason}")
+    return 1
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import build_report, render_json, render_text
 
@@ -294,6 +403,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "classify": _cmd_classify,
         "simulate": _cmd_simulate,
         "trace-report": _cmd_trace_report,
+        "candidates": _cmd_candidates,
+        "reproduce": _cmd_reproduce,
     }
     return handlers[args.command](args)
 

@@ -30,6 +30,7 @@ from repro.obs.session import ObsSession
 from repro.sparklet.context import SparkletContext
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.memo.config import MemoConfig
     from repro.ml.metrics import ClassificationReport
     from repro.obs import ObsConfig
     from repro.sparklet.faults import FaultConfig
@@ -80,6 +81,9 @@ class SinglePulsePipeline:
     backend: str | None = None
     #: Worker processes for the parallel backend (None → REPRO_WORKERS).
     num_workers: int | None = None
+    #: Lineage-hash memoization + candidate recording for stage 3 (None →
+    #: the REPRO_MEMO environment default; see :mod:`repro.memo.config`).
+    memo_config: "MemoConfig | None" = field(default=None, compare=False)
     #: Set by :meth:`from_config` (the ``repro.api`` path).  Direct
     #: construction still works but is deprecated in favour of
     #: ``repro.api.run_pipeline``.
@@ -131,14 +135,17 @@ class SinglePulsePipeline:
         ctx: SparkletContext | None = None,
     ) -> DRapidResult:
         """Upload inputs to the DFS and run D-RAPID."""
+        from repro.memo.config import resolve_memo
+
         if dfs is None:
             dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                             obs=self._obs)
         own_ctx = ctx is None
+        memo = resolve_memo(self.memo_config, fault_config=self.fault_config)
         if ctx is None:
             ctx = SparkletContext(app_name="drapid", default_parallelism=4,
                                   obs=self._obs, backend=self.backend,
-                                  num_workers=self.num_workers)
+                                  num_workers=self.num_workers, memo=memo)
         try:
             data_path, cluster_path = upload_observations(dfs, observations)
             grids = {self.survey.name: observations[0].grid} if observations else {}
@@ -149,10 +156,33 @@ class SinglePulsePipeline:
             result = driver.run(data_path, cluster_path)
             # Round-trip check: the ML files on the DFS reproduce the pulses.
             assert len(read_ml_batch(dfs, result.ml_output_path)) == result.n_pulses
+            if memo is not None and memo.config.store_candidates:
+                from repro.memo.candidates import record_drapid_run
+
+                record_drapid_run(
+                    memo, result=result, config=self._provenance_config(),
+                    dfs=dfs, data_path=data_path, cluster_path=cluster_path,
+                    grids=grids, params=self.params,
+                    num_partitions=self.num_partitions,
+                    survey=self.survey.name, seed=self.seed, obs=self._obs,
+                )
             return result
         finally:
+            if memo is not None:
+                memo.close()
             if own_ctx:
                 ctx.close()
+
+    def _provenance_config(self) -> dict:
+        """The semantic knobs of this pipeline, for candidate provenance."""
+        return {
+            "survey": self.survey.name,
+            "scheme": getattr(self.scheme, "name", str(self.scheme)),
+            "params": self.params,
+            "grid_coarsen": self.grid_coarsen,
+            "num_partitions": self.num_partitions,
+            "seed": self.seed,
+        }
 
     # -- stage 4 -----------------------------------------------------------
     def to_benchmark(

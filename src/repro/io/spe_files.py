@@ -35,12 +35,16 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from repro.astro.spe import SPE_FILE_HEADER, spes_to_csv
-from repro.core.rapid import SinglePulse
 from repro.dataplane import ClusterBatch, MalformedRowError, PulseBatch, SPEBatch
 from repro.dataplane._columns import data_lines
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.astro.survey import Observation
+    # Annotation-only: a runtime import would close the cycle
+    # repro.io -> repro.core -> repro.core.drapid -> repro.io.spe_files,
+    # which breaks when a worker process first imports the package via
+    # repro.io while unpickling a task payload.
+    from repro.core.rapid import SinglePulse
     from repro.dfs import DFSClient
 
 CLUSTER_FILE_HEADER = (

@@ -43,6 +43,11 @@ SHM_SEGMENT_RELEASED = "shm_segment_released"
 SPAN_START = "span_start"
 SPAN_END = "span_end"
 
+# Memoization subsystem (repro.memo).
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CANDIDATE_STORED = "candidate_stored"
+
 # DFS.
 DFS_PUT = "dfs_put"
 DFS_DELETE = "dfs_delete"

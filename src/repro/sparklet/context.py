@@ -14,6 +14,7 @@ from repro.sparklet.scheduler import DAGScheduler, Runtime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfs import DFSClient
+    from repro.memo.config import MemoSession
     from repro.obs import ObsConfig
     from repro.sparklet.faults import FaultConfig, FaultInjector
 
@@ -45,7 +46,8 @@ class SparkletContext:
                  obs: "ObsConfig | ObsSession | None" = None,
                  backend: str | None = None,
                  num_workers: int | None = None,
-                 io_wait_s_per_mb: float = 0.0) -> None:
+                 io_wait_s_per_mb: float = 0.0,
+                 memo: "MemoSession | None" = None) -> None:
         if default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
         self.app_name = app_name
@@ -74,6 +76,9 @@ class SparkletContext:
             self.runtime.shuffle = executor_mod.ShmShuffleManager(
                 owner=self.uid, obs=self.obs
             )
+        #: Lineage-hash memoization session (None: every job recomputes).
+        self.memo = memo
+        self.runtime.memo = memo
         self.scheduler = DAGScheduler(self.runtime, max_task_retries=max_task_retries)
         self._rdd_counter = 0
         self._shuffle_counter = 0
@@ -166,8 +171,10 @@ class SparkletContext:
         rdd: RDD,
         func: Callable[[Iterator[Any]], Any],
         partitions: list[int] | None = None,
+        memoize: bool = True,
     ) -> list[Any]:
-        results, _job = self.scheduler.run_job(rdd, func, partitions)
+        results, _job = self.scheduler.run_job(rdd, func, partitions,
+                                               memoize=memoize)
         return results
 
     def last_job_metrics(self) -> JobMetrics:

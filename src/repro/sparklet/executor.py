@@ -361,8 +361,12 @@ class ShmShuffleManager(ShuffleManager):
         for map_partition in sorted(buckets):
             rec, nb = buckets[map_partition]
             if not isinstance(rec, shm_mod.Blob):
-                # Bucket written through the plain (serial) API: wrap inline.
+                # Bucket written through the plain (serial) API — e.g. a
+                # memoized stage-hit importing stored records.  Wrap inline
+                # and cache the blob so repeated fetches (one per reduce
+                # task) do not re-pickle the same records each time.
                 rec = shm_mod.Blob(meta=cloudpickle.dumps(rec, protocol=5))
+                buckets[map_partition] = (rec, nb)
             refs.append(rec)
             total += nb
         return refs, total

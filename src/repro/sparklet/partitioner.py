@@ -64,6 +64,11 @@ class Partitioner:
     def __hash__(self) -> int:  # pragma: no cover
         return hash((type(self).__name__, self.num_partitions))
 
+    def memo_token(self) -> str:
+        """Identity for lineage hashing (see :mod:`repro.memo.hashing`) —
+        only the placement-relevant config, never internal caches."""
+        return f"part:{type(self).__name__}:{self.num_partitions}"
+
 
 class HashPartitioner(Partitioner):
     """``portable_hash(key) mod n`` — Spark's default partitioner.
@@ -124,3 +129,6 @@ class RangePartitioner(Partitioner):
 
     def partition_for(self, key: Any) -> int:
         return bisect.bisect_left(self.bounds, key)
+
+    def memo_token(self) -> str:
+        return f"part:RangePartitioner:{self.bounds!r}"

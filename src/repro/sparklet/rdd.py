@@ -494,7 +494,9 @@ class RDD:
             for x in it:
                 f(x)
 
-        self.ctx._run_job(self, run_part)
+        # foreach exists for its side effects; replaying a memoized result
+        # would skip them, so it always executes.
+        self.ctx._run_job(self, run_part, memoize=False)
 
     def save_as_text_file(self, dfs: "DFSClient", path: str) -> None:
         """Write one ``part-NNNNN`` file per partition, like Spark on HDFS.

@@ -98,6 +98,9 @@ class Runtime:
         #: Accumulators registered via SparkletContext.accumulator(); the
         #: scheduler commits their per-attempt buffers on task success only.
         self.accumulators: list[Any] = []
+        #: Optional :class:`repro.memo.config.MemoSession` enabling
+        #: lineage-hash memoization of stage and job outputs.
+        self.memo: Any | None = None
 
 
 class Stage:
@@ -203,13 +206,12 @@ class DAGScheduler:
         rdd: RDD,
         func: Callable[[Iterator[Any]], Any],
         partitions: list[int] | None = None,
+        memoize: bool = True,
     ) -> tuple[list[Any], JobMetrics]:
         final_stage = self._new_stage(rdd, None)
         job = JobMetrics(job_id=self._next_job_id)
         self._next_job_id += 1
         obs = self.runtime.obs
-        if obs.enabled:
-            obs.emit(obs_events.JOB_START, job_id=job.job_id, rdd=rdd.name)
 
         # Topological order over the stage DAG (parents before children).
         order: list[Stage] = []
@@ -225,6 +227,41 @@ class DAGScheduler:
 
         visit(final_stage)
 
+        # Lineage-hash memoization: a job whose full key hits the store
+        # returns stored results (and replays accumulator deltas + metrics)
+        # without executing anything — including JOB_START, so the event
+        # stream of a skipped job is exactly one cache_hit.  Keys that fail
+        # to compute (an unhashable closure) silently disable memo for this
+        # job; memoization must never turn a runnable job into an error.
+        memo = self.runtime.memo if memoize else None
+        lineage_cache: dict[int, str] = {}
+        jkey: str | None = None
+        if memo is not None:
+            from repro.memo import hashing as memo_hashing
+
+            try:
+                jkey = memo_hashing.job_key(rdd, func, partitions, lineage_cache)
+            except Exception:
+                memo = None
+        if memo is not None and jkey is not None:
+            entry = memo.store.get(jkey)
+            if entry is not None and self._apply_job_hit(entry, order, job):
+                self.job_history.append(job)
+                if obs.enabled:
+                    obs.emit(obs_events.CACHE_HIT, scope="job", key=jkey,
+                             job_id=job.job_id)
+                    obs.registry.counter("memo.job_hits").inc()
+                self.runtime.backend.on_job_end(self, job)
+                return entry["results"], job
+
+        if obs.enabled:
+            obs.emit(obs_events.JOB_START, job_id=job.job_id, rdd=rdd.name)
+            if memo is not None:
+                obs.emit(obs_events.CACHE_MISS, scope="job", key=jkey,
+                         job_id=job.job_id)
+                obs.registry.counter("memo.job_misses").inc()
+        acc_before = self._acc_snapshot() if memo is not None else {}
+
         results: list[Any] = []
         for stage in order:
             if stage.is_shuffle_map:
@@ -232,7 +269,10 @@ class DAGScheduler:
                 missing = self._missing_map_partitions(stage)
                 if not missing and stage.shuffle_dep.shuffle_id in self._completed_shuffles:
                     continue  # output still available from a previous job
-                self._run_shuffle_map_stage(stage, job, missing or None)
+                if memo is not None and len(missing) == stage.rdd.num_partitions:
+                    self._run_memoized_map_stage(stage, job, memo, lineage_cache)
+                else:
+                    self._run_shuffle_map_stage(stage, job, missing or None)
             else:
                 metrics, results = self._run_result_stage(stage, func, partitions, job)
                 job.stages.append(metrics)
@@ -242,7 +282,157 @@ class DAGScheduler:
                      n_stages=len(job.stages), n_tasks=job.num_tasks)
             obs.registry.counter("sparklet.jobs").inc()
         self.runtime.backend.on_job_end(self, job)
+        if (memo is not None and jkey is not None
+                and job.total_failures == 0 and self._accs_replayable()):
+            memo.store.put(jkey, {
+                "results": results,
+                "job": _memo_job_copy(job),
+                "acc_deltas": self._acc_deltas(acc_before),
+            })
         return results, job
+
+    # -- memoization --------------------------------------------------------
+    def _run_memoized_map_stage(
+        self, stage: Stage, job: JobMetrics, memo: Any,
+        lineage_cache: dict[int, str],
+    ) -> None:
+        """Run one whole-output-missing map stage through the memo store."""
+        dep = stage.shuffle_dep
+        assert dep is not None
+        obs = self.runtime.obs
+        skey: str | None = None
+        try:
+            from repro.memo import hashing as memo_hashing
+
+            skey = memo_hashing.stage_key(dep, lineage_cache)
+        except Exception:
+            skey = None
+        if skey is not None:
+            entry = memo.store.get(skey)
+            if entry is not None and self._apply_stage_hit(stage, entry, job):
+                if obs.enabled:
+                    obs.emit(obs_events.CACHE_HIT, scope="stage", key=skey,
+                             stage_id=stage.stage_id,
+                             shuffle_id=dep.shuffle_id)
+                    obs.registry.counter("memo.stage_hits").inc()
+                return
+        if obs.enabled and skey is not None:
+            obs.emit(obs_events.CACHE_MISS, scope="stage", key=skey,
+                     stage_id=stage.stage_id, shuffle_id=dep.shuffle_id)
+            obs.registry.counter("memo.stage_misses").inc()
+        acc_before = self._acc_snapshot()
+        sm = self._run_shuffle_map_stage(stage, job, None)
+        clean = (sm.n_task_failures == 0 and sm.n_executor_lost == 0
+                 and sm.n_fetch_failures == 0)
+        # Faulted stages are never stored: their metrics carry failure
+        # counts that did not "happen" in a later clean run, and recovery
+        # waves make the delta accounting ambiguous.  Output correctness is
+        # unaffected — the next clean run populates the entry.
+        if (skey is not None and clean
+                and dep.shuffle_id in self._completed_shuffles
+                and self._accs_replayable()):
+            buckets = self.runtime.shuffle.export_shuffle(
+                dep.shuffle_id, dep.partitioner.num_partitions
+            )
+            memo.store.put(skey, {
+                "buckets": buckets,
+                "metrics": _memo_stage_copy(sm),
+                "acc_deltas": self._acc_deltas(acc_before),
+            })
+
+    def _apply_stage_hit(self, stage: Stage, entry: dict, job: JobMetrics) -> bool:
+        """Install a stored map stage: shuffle buckets, deltas, metrics."""
+        dep = stage.shuffle_dep
+        assert dep is not None
+        if not self._apply_acc_deltas(entry.get("acc_deltas", {})):
+            return False
+        self._mark_committed([stage])
+        self.runtime.shuffle.import_shuffle(dep.shuffle_id, entry["buckets"])
+        outputs = self._map_outputs.setdefault(dep.shuffle_id, {})
+        for p in range(stage.rdd.num_partitions):
+            # Synthetic producer id: never matches a lost executor, so the
+            # imported output survives executor-loss bookkeeping (a fetch
+            # failure still invalidates it and recomputes via lineage).
+            outputs[p] = "memo"
+        self._completed_shuffles.add(dep.shuffle_id)
+        sm = entry.get("metrics")
+        if sm is not None:
+            sm.stage_id = stage.stage_id
+            for t in sm.tasks:
+                t.stage_id = stage.stage_id
+            job.stages.append(sm)
+        return True
+
+    def _apply_job_hit(self, entry: dict, order: list[Stage], job: JobMetrics) -> bool:
+        """Replay a stored job: accumulator deltas + metrics, no execution."""
+        if not self._apply_acc_deltas(entry.get("acc_deltas", {})):
+            return False
+        self._mark_committed(order)
+        stored = entry.get("job")
+        if stored is not None:
+            job.stages.extend(stored.stages)
+        return True
+
+    def _mark_committed(self, stages: list[Stage]) -> None:
+        """Pre-commit the logical tasks of skipped stages on every
+        accumulator, so a later fault-driven recomputation of an imported
+        stage cannot double-count adds the replayed delta already applied."""
+        keys = {
+            (stage.stage_id, p)
+            for stage in stages
+            for p in range(stage.rdd.num_partitions)
+        }
+        for acc in self.runtime.accumulators:
+            acc._committed.update(keys)
+
+    def _acc_snapshot(self) -> dict[str, Any]:
+        """Current value per replayable accumulator, keyed by stable suffix."""
+        import operator
+
+        from repro.sparklet.shared import memo_suffix_of
+
+        snap: dict[str, Any] = {}
+        for acc in self.runtime.accumulators:
+            if acc._op is operator.add and isinstance(acc._value, (int, float)):
+                snap[memo_suffix_of(acc._id)] = acc._value
+        return snap
+
+    def _accs_replayable(self) -> bool:
+        """True when every registered accumulator's adds can be replayed as
+        a numeric delta — the precondition for storing any memo entry."""
+        import operator
+
+        return all(
+            acc._op is operator.add and isinstance(acc._value, (int, float))
+            for acc in self.runtime.accumulators
+        )
+
+    def _acc_deltas(self, before: dict[str, Any]) -> dict[str, Any]:
+        after = self._acc_snapshot()
+        return {
+            suffix: value - before.get(suffix, 0)
+            for suffix, value in after.items()
+            if value != before.get(suffix, 0)
+        }
+
+    def _apply_acc_deltas(self, deltas: dict[str, Any]) -> bool:
+        """Apply stored deltas to matching live accumulators; all-or-nothing.
+
+        A delta with no matching accumulator (the caller registered fewer
+        accumulators than the recording run) makes the whole hit unusable —
+        report False *before* mutating anything and the caller recomputes.
+        """
+        from repro.sparklet.shared import memo_suffix_of
+
+        by_suffix = {
+            memo_suffix_of(acc._id): acc for acc in self.runtime.accumulators
+        }
+        if any(suffix not in by_suffix for suffix in deltas):
+            return False
+        for suffix, delta in deltas.items():
+            acc = by_suffix[suffix]
+            acc._value = acc._op(acc._value, delta)
+        return True
 
     # -- fault recovery ----------------------------------------------------
     def _recover_shuffle(self, shuffle_id: int, job: JobMetrics) -> None:
@@ -454,6 +644,30 @@ class DAGScheduler:
                      n_tasks=len(sm.tasks), shuffle_write_bytes=0)
             obs.registry.counter("sparklet.stages").inc()
         return sm, results
+
+
+def _memo_stage_copy(sm: StageMetrics) -> StageMetrics:
+    """Copy one StageMetrics for storage, dropping task-attached results.
+
+    Result-stage tasks carry their partition output on a ``_result``
+    attribute (how the serial backend returns values); persisting that
+    would duplicate the job's results inside the metrics payload.
+    """
+    import copy
+
+    out = copy.copy(sm)
+    out.tasks = []
+    for t in sm.tasks:
+        tc = copy.copy(t)
+        tc.__dict__.pop("_result", None)
+        out.tasks.append(tc)
+    return out
+
+
+def _memo_job_copy(job: JobMetrics) -> JobMetrics:
+    out = JobMetrics(job_id=job.job_id)
+    out.stages = [_memo_stage_copy(s) for s in job.stages]
+    return out
 
 
 def _shuffle_reads_of(rdd: RDD) -> list[int]:

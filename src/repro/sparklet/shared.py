@@ -38,6 +38,13 @@ class Broadcast(Generic[T]):
         self._destroyed = True
         self._value = None  # type: ignore[assignment]
 
+    def memo_token(self) -> str:
+        """Lineage-hash identity: the broadcast *value*, not the id (ids are
+        per-context counters and vary across otherwise-identical runs)."""
+        from repro.memo.hashing import digest, token_for
+
+        return digest(["broadcast", token_for(self._value)])
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Broadcast id={self._id} destroyed={self._destroyed}>"
 
@@ -80,6 +87,23 @@ class Accumulator(Generic[T]):
         back to the driver for the usual exactly-once commit.
         """
         return (_resolve_accumulator, (self._id, self._zero, self._op))
+
+    def memo_token(self) -> str:
+        """Lineage-hash identity stripped of the process-variable context uid.
+
+        Ids look like ``ctx<pid>-<n>:a<k>``; only the ``a<k>`` creation-order
+        suffix is stable across processes, and it is what lets a memo entry
+        recorded in one run replay its accumulator delta onto the matching
+        accumulator of a later run.  Folding in the zero and the op keeps
+        two same-numbered accumulators with different semantics apart.
+        """
+        from repro.memo.hashing import callable_token, digest, token_for
+
+        return digest([
+            f"acc:{memo_suffix_of(self._id)}",
+            token_for(self._zero),
+            callable_token(self._op),
+        ])
 
     # -- task side ----------------------------------------------------------
     def add(self, amount: T) -> None:
@@ -127,6 +151,12 @@ class Accumulator(Generic[T]):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Accumulator id={self._id} value={self._value!r}>"
+
+
+def memo_suffix_of(acc_id: "int | str") -> str:
+    """The context-independent part of an accumulator id (``a<k>``)."""
+    text = str(acc_id)
+    return text.rsplit(":", 1)[-1]
 
 
 def _resolve_accumulator(acc_id, zero, op) -> "Accumulator":

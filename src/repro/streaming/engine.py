@@ -474,6 +474,7 @@ def stream_observations(
     """
     from repro.dfs import DataNode, DFSClient
     from repro.io.spe_files import read_ml_batch
+    from repro.memo.config import resolve_memo
     from repro.sparklet.context import SparkletContext
 
     session = ObsSession.from_config(obs) if not isinstance(obs, ObsSession) else obs
@@ -481,10 +482,13 @@ def stream_observations(
         dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                         obs=session)
     own_ctx = ctx is None
+    memo = resolve_memo(config.pipeline.memo_config,
+                        fault_config=config.pipeline.fault_config)
     if ctx is None:
         ctx = SparkletContext(app_name="streaming", default_parallelism=4,
                               obs=session, backend=config.pipeline.backend,
-                              num_workers=config.pipeline.num_workers)
+                              num_workers=config.pipeline.num_workers,
+                              memo=memo)
     if model is not None:
         scorer = StreamScorer(model)
     elif config.model_path is not None:
@@ -523,6 +527,31 @@ def stream_observations(
         read_ml_batch(dfs, f"{engine._batch_root(b)}/ml")
         for b in engine.committed
     ])
+    if memo is not None and memo.config.store_candidates:
+        # Streaming runs record provenance only (kind="streaming",
+        # reproducible=0): the per-batch inputs are re-cut from the live
+        # receiver and there is no single raw input file to archive.
+        from repro.memo.candidates import record_run
+
+        pipe = config.pipeline
+        record_run(
+            memo, kind="streaming", batch=pulse_batch,
+            config={
+                "survey": getattr(observations[0].config, "name", None)
+                if observations else None,
+                "params": pipe.params,
+                "num_partitions": pipe.num_partitions,
+                "seed": pipe.seed,
+                "batch_interval_s": config.batch_interval_s,
+                "arrival_rate": config.arrival_rate,
+            },
+            survey=(observations[0].config.name if observations else None),
+            seed=pipe.seed,
+            obs_seq_range=(0, session.log.n_events) if session.enabled else None,
+            obs=session,
+        )
+    if memo is not None:
+        memo.close()
     if own_ctx:
         ctx.close()
     predicted = scorer.score(pulse_batch) if scorer is not None else None

@@ -6,6 +6,9 @@ tests probe; the scaled experiments live in ``benchmarks/``.
 
 from __future__ import annotations
 
+import os
+import random
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,58 @@ from repro.astro.benchmark import Benchmark, build_benchmark
 from repro.astro.population import b1853_like
 from repro.dfs import DataNode, DFSClient
 from repro.sparklet import SparkletContext
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optionally shuffle test order: ``REPRO_TEST_SHUFFLE=<seed>``.
+
+    The suite must not depend on collection order (shared caches, env
+    leakage, module state); CI runs one shuffled pass to enforce that.
+    """
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if seed:
+        random.Random(int(seed)).shuffle(items)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _memo_env_session_isolation(tmp_path_factory):
+    """Session-level floor under the per-test isolation below.
+
+    Class/module/session-scoped fixtures are set up *before* any
+    function-scoped autouse fixture runs, so a pipeline run inside one
+    would otherwise fall back to the shared ``$TMPDIR/repro-memo`` default
+    — warm with entries from previous pytest invocations (or other users
+    on a shared machine).  Pointing the env at a per-invocation directory
+    here guarantees every run in this process starts from a cold store.
+    """
+    old = os.environ.get("REPRO_MEMO_DIR")
+    os.environ["REPRO_MEMO_DIR"] = str(tmp_path_factory.mktemp("memo-session"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_MEMO_DIR", None)
+    else:
+        os.environ["REPRO_MEMO_DIR"] = old
+
+
+@pytest.fixture(autouse=True)
+def _memo_env_isolation(tmp_path, monkeypatch):
+    """Point memoization at a per-test directory, never at a shared one.
+
+    Two hazards this removes: (a) ``REPRO_MEMO=1`` suite runs would share
+    one tmpdir store across every test (and across *users* on a shared
+    machine, since the default lives under ``$TMPDIR``); (b) a test that
+    sets ``REPRO_MEMO`` itself would leak it into later tests.
+    """
+    monkeypatch.setenv("REPRO_MEMO_DIR", str(tmp_path / "memo"))
+    yield
+
+
+@pytest.fixture
+def memo_dir(tmp_path):
+    """A fresh private memoization directory (for explicit MemoConfig use)."""
+    d = tmp_path / "memo-explicit"
+    d.mkdir()
+    return str(d)
 
 
 @pytest.fixture
@@ -28,8 +83,13 @@ def dfs() -> DFSClient:
 
 
 @pytest.fixture
-def ctx() -> SparkletContext:
-    return SparkletContext(app_name="test", default_parallelism=4)
+def ctx():
+    """A context closed at teardown: under ``REPRO_BACKEND=parallel`` an
+    open context pins shared-memory segments that the shm-hygiene tests
+    would report as leaks."""
+    c = SparkletContext(app_name="test", default_parallelism=4)
+    yield c
+    c.close()
 
 
 @pytest.fixture
@@ -40,8 +100,10 @@ def serial_ctx() -> SparkletContext:
     appended to from ``map``/``foreach``) — semantics that only hold when
     tasks run in the driver process.
     """
-    return SparkletContext(app_name="test", default_parallelism=4,
-                           backend="serial")
+    c = SparkletContext(app_name="test", default_parallelism=4,
+                        backend="serial")
+    yield c
+    c.close()
 
 
 @pytest.fixture(scope="session")

@@ -185,6 +185,10 @@ def _run_drapid(drapid_inputs, fault_config):
     )
     result = driver.run("/surveys/data.csv", "/surveys/clusters.csv")
     ml_bytes = b"".join(dfs.get(p) for p in dfs.ls(result.ml_output_path))
+    # Close eagerly: under REPRO_BACKEND=parallel an open context pins its
+    # shared-memory payload segments, which a later shm-hygiene test would
+    # see as leaks.  Metrics and the fault injector stay readable.
+    ctx.close()
     return result, ml_bytes, ctx
 
 
@@ -231,5 +235,6 @@ class TestDRapidChaosInvariant:
         )
         assert ctx.runtime.fault_injector is not None
         result = driver.run("/surveys/data.csv", "/surveys/clusters.csv")
+        ctx.close()
         ml_bytes = b"".join(dfs.get(p) for p in dfs.ls(result.ml_output_path))
         assert ml_bytes == base_ml

@@ -128,6 +128,7 @@ class TestDRapidEquivalence:
         reference = driver.run_reference(
             data_path, cluster_path, ml_output_path="/ml/ref"
         )
+        ctx.close()
         return dfs, columnar, reference
 
     def test_ml_part_files_byte_identical(self, both_runs):

@@ -71,6 +71,7 @@ class TestDistributedEqualsSerialAcrossSurveys:
         driver = DRapidDriver(ctx=ctx, dfs=dfs, grids={survey.name: obs.grid},
                               num_partitions=5)
         result = driver.run(data_path, cluster_path)
+        ctx.close()
         serial = run_rapid_observation(obs)
         assert result.n_pulses == serial.n_pulses
         # ML files on the DFS aggregate back to the same pulses (stage 4 input).
@@ -95,6 +96,7 @@ class TestFaultToleranceEndToEnd:
         driver = DRapidDriver(ctx=ctx, dfs=dfs,
                               grids={"GBT350Drift": observation.grid}, num_partitions=4)
         result = driver.run(data_path, cluster_path, ml_output_path="/ft/ml")
+        ctx.close()
         serial = run_rapid_observation(observation)
         assert result.n_pulses == serial.n_pulses
 
@@ -107,6 +109,7 @@ class TestFaultToleranceEndToEnd:
         driver = DRapidDriver(ctx=ctx, dfs=dfs,
                               grids={"GBT350Drift": observation.grid}, num_partitions=4)
         result = driver.run(data_path, cluster_path)
+        ctx.close()
         assert result.n_pulses == run_rapid_observation(observation).n_pulses
 
 

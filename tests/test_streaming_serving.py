@@ -1,0 +1,91 @@
+"""Direct unit tests for the in-stream serving path (StreamScorer).
+
+The scorer is the last hop before a pulse leaves the engine labeled; it
+must validate its model eagerly (a predict-less object fails at
+construction, not mid-stream), load persisted models only through the
+hardened unpickler, and treat an empty batch as a no-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataplane import PulseBatch
+from repro.dataplane.pulse_batch import N_FEATURES
+from repro.ml import J48
+from repro.ml.persistence import save_model
+from repro.streaming.serving import StreamScorer
+
+
+def _batch(n: int, seed: int = 0) -> PulseBatch:
+    rng = np.random.default_rng(seed)
+    return PulseBatch(
+        observation_key=np.array([f"obs|{i}" for i in range(n)], dtype=object),
+        cluster_id=np.arange(n),
+        spe_start=np.zeros(n, dtype=np.int64),
+        spe_stop=np.full(n, 5, dtype=np.int64),
+        source_name=np.array([None] * n, dtype=object),
+        is_rrat=np.zeros(n, dtype=bool),
+        features=rng.normal(size=(n, N_FEATURES)),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_model(toy_classification):
+    X, y = toy_classification
+    # Train on N_FEATURES-wide data so the model accepts real batches.
+    rng = np.random.default_rng(1)
+    X22 = np.hstack([X, rng.normal(size=(len(X), N_FEATURES - X.shape[1]))])
+    return J48().fit(X22, y)
+
+
+def test_rejects_model_without_predict():
+    with pytest.raises(TypeError, match="predict"):
+        StreamScorer(object())
+
+
+def test_rejects_none_model():
+    with pytest.raises(TypeError, match="predict"):
+        StreamScorer(None)
+
+
+def test_scores_match_direct_prediction(trained_model):
+    batch = _batch(12)
+    scorer = StreamScorer(trained_model)
+    out = scorer.score(batch)
+    np.testing.assert_array_equal(out, trained_model.predict(batch.features))
+    assert len(out) == len(batch)
+
+
+def test_empty_batch_scores_to_empty_int64(trained_model):
+    out = StreamScorer(trained_model).score(PulseBatch.empty())
+    assert out.shape == (0,)
+    assert out.dtype == np.int64
+
+
+def test_from_path_round_trips_through_hardened_unpickler(trained_model, tmp_path):
+    path = tmp_path / "model.pkl"
+    save_model(trained_model, path)
+    scorer = StreamScorer.from_path(path)
+    batch = _batch(8, seed=3)
+    np.testing.assert_array_equal(
+        scorer.score(batch), trained_model.predict(batch.features)
+    )
+
+
+def test_from_path_rejects_hostile_payload(tmp_path):
+    import pickle
+
+    class Evil:
+        def __reduce__(self):
+            import os
+
+            return (os.system, ("echo pwned > /dev/null",))
+
+    path = tmp_path / "evil.pkl"
+    path.write_bytes(pickle.dumps(
+        {"format_version": 1, "class_name": "J48", "model": Evil()}
+    ))
+    with pytest.raises(Exception):
+        StreamScorer.from_path(path)
