@@ -148,7 +148,10 @@ def bench_feature_extraction(scales=EXTRACT_SCALES) -> list[dict]:
         ]
         pulse_ranks = np.arange(1, n_pulses + 1)
 
-        def naive():
+        # Default args bind the current iteration's arrays and binsize so the
+        # closures do not capture loop variables by reference (B023).
+        def naive(dms=dms, snrs=snrs, times=times, ranges=ranges,
+                  binsize=binsize, pulse_ranks=pulse_ranks, n_pulses=n_pulses):
             return [
                 extract_pulse_features(
                     dms[a:b], snrs[a:b], times[a:b], peak_hint=h - a,
@@ -161,7 +164,8 @@ def bench_feature_extraction(scales=EXTRACT_SCALES) -> list[dict]:
                 for i, (a, b, h) in enumerate(ranges)
             ]
 
-        def vectorized():
+        def vectorized(dms=dms, snrs=snrs, times=times, ranges=ranges,
+                       binsize=binsize, pulse_ranks=pulse_ranks):
             return extract_pulse_features_matrix(
                 dms, snrs, times, ranges, pulse_ranks, binsize=binsize,
                 cluster_rank=3, dm_spacing_of=spacing_of,
@@ -206,8 +210,8 @@ def bench_file_builders(n_observations: int) -> list[dict]:
         ("data_file", build_data_file, _reference_build_data_file),
         ("cluster_file", build_cluster_file, _reference_build_cluster_file),
     ):
-        t_ref = _timeit(lambda: ref_fn(observations), repeats=2)
-        t_batch = _timeit(lambda: batch_fn(observations))
+        t_ref = _timeit(lambda fn=ref_fn: fn(observations), repeats=2)
+        t_batch = _timeit(lambda fn=batch_fn: fn(observations))
         out.append(
             {
                 "file": name,

@@ -46,7 +46,7 @@ def test_fig5a_recall_fmeasure(benchmark, trial_grid):
     # RQ3 headline: ALM RF within 2% of binary RF on both measures.
     deltas = []
     for ds in ("GBT", "PALFA"):
-        def rf_score(scheme, attr):
+        def rf_score(scheme, attr, ds=ds):
             vals = []
             for smote in (False, True):
                 vals.append(getattr(grid[(ds, scheme, "RF", smote)], attr))
@@ -68,7 +68,7 @@ def test_fig5a_recall_fmeasure(benchmark, trial_grid):
     # asserted (see EXPERIMENTS.md for the discussion).
     star_report = []
     for ds in ("GBT", "PALFA"):
-        def pooled_f(scheme):
+        def pooled_f(scheme, ds=ds):
             vals = []
             for learner in LEARNERS:
                 for smote in (False, True):

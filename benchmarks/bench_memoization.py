@@ -85,7 +85,7 @@ def bench_cache_arms(observations, rounds: int) -> dict:
         uncached_walls, cold_walls, warm_walls, prefix_walls = [], [], [], []
         uncached_lines = cold_lines = warm_lines = None
         warm_counters = prefix_counters = {}
-        for r in range(rounds):
+        for _ in range(rounds):
             w, uncached_lines, _ = _run(observations, None, params)
             uncached_walls.append(w)
             # Cold: wipe the store so every key misses and is written.

@@ -18,11 +18,11 @@ from repro.core.alm import ALM_SCHEMES
 from repro.core.features import FEATURE_NAMES
 from repro.ml import (
     J48,
-    JRip,
     MLP,
     PART,
-    RandomForest,
     SMO,
+    JRip,
+    RandomForest,
     cross_validate,
     rank_features,
     select_top_k,

@@ -30,12 +30,14 @@ from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.survey import GBT350DRIFT, PALFA, Observation, SurveyConfig
 from repro.core.pipeline import PipelineResult, SinglePulsePipeline
 from repro.core.search import SearchParams
+from repro.sparklet.pools import DEFAULT_POOL
 from repro.streaming.backpressure import PIDConfig
 from repro.streaming.engine import (
     LinearCostModel,
     SimulatedCostModel,
     StreamingResult,
 )
+from repro.streaming.sessions import AdmissionConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.drapid import DRapidResult
@@ -46,11 +48,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sparklet.faults import FaultConfig
 
 __all__ = [
+    "AdmissionConfig",
     "MemoConfig",
     "PipelineConfig",
+    "ServingConfig",
+    "ServingResult",
     "StreamingConfig",
+    "TenantConfig",
     "run_pipeline",
     "run_drapid",
+    "run_serving",
     "run_streaming",
     "resolve_survey",
 ]
@@ -236,6 +243,250 @@ def run_streaming(
             observations, streaming_config,
             dfs=dfs, ctx=ctx, model=model, obs=session,
         )
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One serving tenant: its streamed workload plus its fair-share terms.
+
+    ``weight`` and ``min_share`` parametrize the tenant's
+    :class:`~repro.sparklet.pools.PoolConfig` — the same fair-scheduler
+    vocabulary Sparklet jobs use, applied here to micro-batches.
+    """
+
+    tenant_id: str
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    weight: float = 1.0
+    min_share: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.tenant_id == DEFAULT_POOL:
+            raise ValueError(
+                f"tenant_id {DEFAULT_POOL!r} is reserved for the default pool"
+            )
+        if "/" in self.tenant_id:
+            raise ValueError("tenant_id must not contain '/' (it names DFS roots)")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything one multi-tenant serving run depends on.
+
+    N tenant streams multiplexed on one driver, one Sparklet context and
+    one simulated clock, scheduled by fair-share pools with admission
+    control (see :mod:`repro.streaming.sessions`).  Each tenant's output is
+    byte-identical (canonically) to its solo :func:`run_streaming` output.
+    """
+
+    tenants: tuple[TenantConfig, ...] = ()
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Observability for the whole fleet (one shared event log; per-tenant
+    #: events carry ``tenant``/``pool`` fields).
+    obs_config: "ObsConfig | ObsSession | None" = None
+    #: Directory for per-tenant private JSONL event logs (None: shared only).
+    tenant_trace_dir: str | None = None
+    #: Execution backend for the shared context ("serial" | "simulated" |
+    #: "parallel"); None defers to REPRO_BACKEND.
+    backend: str | None = None
+    num_workers: int | None = None
+    #: DFS prefix under which each tenant gets an isolated namespace.
+    serving_root: str = "/serving"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        ids = [t.tenant_id for t in self.tenants]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tenant ids: {sorted(ids)}")
+
+
+@dataclass
+class ServingResult:
+    """Everything one multi-tenant serving run produced."""
+
+    #: Per-admitted-tenant streaming results, keyed by tenant id.
+    tenants: dict[str, StreamingResult]
+    #: Tenants turned away by admission control: id → reason.
+    rejected: dict[str, str]
+    #: Per-pool fair-share accounting (service seconds, shares, picks).
+    pool_stats: dict[str, dict[str, float]]
+    #: Micro-batches executed across the whole fleet.
+    n_batches: int
+    obs: "ObsSession | None" = None
+
+    def canonical_ml_text(self, tenant_id: str) -> str:
+        return self.tenants[tenant_id].canonical_ml_text()
+
+    def shares(self) -> dict[str, float]:
+        """Each tenant's fraction of driver service (default pool excluded)."""
+        served = {
+            name: s for name, s in self.pool_stats.items()
+            if name != DEFAULT_POOL
+        }
+        total = sum(s["service_s"] for s in served.values())
+        if total <= 0:
+            return {name: 0.0 for name in served}
+        return {name: s["service_s"] / total for name, s in served.items()}
+
+
+def _tenant_memo(pipe: PipelineConfig, tenant_id: str):
+    """The tenant's memo session, namespaced so entries cannot cross tenants."""
+    from repro.memo.config import env_memo_config, resolve_memo
+
+    base = pipe.memo_config
+    if base is None and pipe.fault_config is None:
+        base = env_memo_config()
+    if base is None:
+        return None
+    return resolve_memo(
+        base.for_namespace(tenant_id), fault_config=pipe.fault_config
+    )
+
+
+def run_serving(config: ServingConfig) -> ServingResult:
+    """Serve every tenant's stream concurrently on one shared driver.
+
+    Builds one DFS, one Sparklet context and one
+    :class:`~repro.streaming.serving.ModelCache`; gives each tenant its own
+    engine, DFS namespace, observability view and memo namespace; registers
+    the fleet on a :class:`~repro.streaming.sessions.SessionManager` and
+    drains it under fair-share scheduling with admission control.
+
+    The per-tenant identity law: for every admitted tenant,
+    ``result.canonical_ml_text(tid)`` equals the canonical output of a solo
+    :func:`run_streaming` on that tenant's :class:`StreamingConfig` — co-
+    tenant contention moves batch boundaries, never finalized clusters.
+    """
+    import os
+
+    from repro.dataplane import PulseBatch
+    from repro.dfs import DataNode, DFSClient
+    from repro.io.spe_files import read_ml_batch
+    from repro.obs.session import ObsSession
+    from repro.sparklet.context import SparkletContext
+    from repro.streaming.engine import MicroBatchEngine
+    from repro.streaming.receiver import ReplayReceiver, build_stream
+    from repro.streaming.serving import ModelCache, StreamScorer
+    from repro.streaming.sessions import SessionManager
+    from repro.streaming.state import StreamState
+
+    if not config.tenants:
+        raise ValueError("run_serving needs at least one tenant")
+    session = ObsSession.from_config(config.obs_config)
+    dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
+                    obs=session)
+    ctx = SparkletContext(app_name="serving", default_parallelism=4,
+                          obs=session, backend=config.backend,
+                          num_workers=config.num_workers)
+    cache = ModelCache()
+    manager = SessionManager(admission=config.admission, obs=session)
+    views: dict[str, "ObsSession"] = {}
+    tenant_observations: dict[str, list] = {}
+    try:
+        for tenant in config.tenants:
+            tid = tenant.tenant_id
+            root = f"{config.serving_root}/{tid}"
+            scfg = dataclasses.replace(
+                tenant.streaming, batch_root=root,
+                checkpoint_path=f"{root}/checkpoint.json",
+            )
+            pipe = scfg.pipeline
+            # Generate exactly the observations the tenant's solo run would:
+            # same pipeline, same seed, same rng draws.
+            pipeline = _pipeline_for(
+                dataclasses.replace(pipe, obs_config=session)
+            )
+            pulsars = synthesize_population(pipe.n_pulsars, seed=pipe.seed)
+            with session.tracer.span("serving.generate", tenant=tid):
+                observations = pipeline.generate(
+                    list(pulsars), pipe.n_observations
+                )
+            tenant_observations[tid] = observations
+            scorer = None
+            if scfg.model_path is not None:
+                cache.load(tid, scfg.model_path)
+                scorer = StreamScorer.from_cache(cache, tid)
+            trace_path = (
+                os.path.join(config.tenant_trace_dir, f"{tid}.jsonl")
+                if config.tenant_trace_dir is not None else None
+            )
+            view = session.for_tenant(tid, path=trace_path)
+            views[tid] = view
+            grids = ({observations[0].config.name: observations[0].grid}
+                     if observations else {})
+            engine = MicroBatchEngine(
+                config=scfg, receiver=ReplayReceiver(build_stream(observations)),
+                state=StreamState(), dfs=dfs, ctx=ctx, grids=grids,
+                scorer=scorer, obs=view,
+            )
+            manager.add_session(tid, engine, weight=tenant.weight,
+                                min_share=tenant.min_share,
+                                memo=_tenant_memo(pipe, tid))
+            # Mirror the pool terms onto the job-level scheduler, so the
+            # tenant's Sparklet jobs are weighted the same way its batches are.
+            ctx.register_pool(tid, weight=tenant.weight,
+                              min_share=tenant.min_share)
+
+        with session.tracer.span("serving.run"):
+            manager.run()
+
+        results: dict[str, StreamingResult] = {}
+        for tenant in config.tenants:
+            tid = tenant.tenant_id
+            info = manager.sessions[tid]
+            if not info.admitted:
+                continue
+            engine = info.engine
+            # Assembly reads the DFS, not driver memory — same honesty rule
+            # as the solo path.
+            pulse_batch = PulseBatch.concat([
+                read_ml_batch(dfs, f"{engine._batch_root(b)}/ml")
+                for b in engine.committed
+            ])
+            memo = manager.memos.get(tid)
+            if memo is not None and memo.config.store_candidates:
+                from repro.memo.candidates import record_run
+
+                pipe = engine.config.pipeline
+                record_run(
+                    memo, kind="serving", batch=pulse_batch,
+                    config={
+                        "tenant": tid,
+                        "params": pipe.params,
+                        "num_partitions": pipe.num_partitions,
+                        "seed": pipe.seed,
+                        "batch_interval_s": engine.config.batch_interval_s,
+                        "arrival_rate": engine.config.arrival_rate,
+                    },
+                    survey=(tenant_observations[tid][0].config.name
+                            if tenant_observations[tid] else None),
+                    seed=pipe.seed,
+                    obs=views[tid],
+                )
+            predicted = (engine.scorer.score(pulse_batch)
+                         if engine.scorer is not None else None)
+            results[tid] = StreamingResult(
+                observations=tenant_observations[tid],
+                pulse_batch=pulse_batch, predicted=predicted,
+                batches=engine.stats, n_recoveries=0,
+                checkpoints_written=engine.n_checkpoints, obs=views[tid],
+            )
+        if session.enabled:
+            session.registry.counter("serving.batches").inc(manager.n_batches)
+            session.registry.counter("serving.tenants").inc(len(results))
+        return ServingResult(
+            tenants=results, rejected=manager.rejected(),
+            pool_stats=manager.pool_stats(), n_batches=manager.n_batches,
+            obs=session,
+        )
+    finally:
+        for memo in manager.memos.values():
+            if memo is not None:
+                memo.close()
+        for view in views.values():
+            view.close()
+        ctx.close()
 
 
 def run_drapid(

@@ -20,16 +20,17 @@ package synthesizes statistically equivalent data:
   paper's class imbalance.
 """
 
+from repro.astro.clustering import Cluster, SinglePulseDBSCAN
 from repro.astro.dispersion import (
     DMGrid,
     dispersion_delay_s,
     dm_spacing_bands,
     smearing_snr_factor,
 )
-from repro.astro.spe import SPE, ObservationKey, SPEBlock
 from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.pulses import generate_pulsar_spes
 from repro.astro.rfi import generate_noise_spes, generate_rfi_spes
+from repro.astro.spe import SPE, ObservationKey, SPEBlock
 from repro.astro.survey import (
     GBT350DRIFT,
     PALFA,
@@ -37,7 +38,6 @@ from repro.astro.survey import (
     SurveyConfig,
     generate_observation,
 )
-from repro.astro.clustering import Cluster, SinglePulseDBSCAN
 
 __all__ = [
     "Cluster",

@@ -239,7 +239,7 @@ def dedisperse_subband(
             continue
         # Stage 1: intra-subband sums at the group's representative DM.
         partial[:] = 0.0
-        for b, (lo, hi) in enumerate(edges):
+        for b, (lo, _hi) in enumerate(edges):
             row = partial[b]
             for ch_off, s in enumerate(s1_tables[b][g]):
                 if s == 0:

@@ -5,6 +5,7 @@ Subcommands mirror the pipeline stages a survey scientist would run:
 - ``generate``     — synthesize a survey and print its statistics
 - ``identify``     — run the full D-RAPID identification pipeline
 - ``stream``       — replay the workload through the micro-batch engine
+- ``serve``        — run N tenant streams on one fair-share serving driver
 - ``classify``     — build a labeled benchmark and cross-validate a learner
 - ``simulate``     — replay an identification job on a configurable cluster
 - ``trace-report`` — summarize an observability event log (``--trace-out``)
@@ -88,6 +89,41 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write an observability event log (JSONL) here")
 
+    serve = sub.add_parser(
+        "serve", help="run N tenant streams on one fair-share serving driver")
+    serve.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    serve.add_argument("--tenants", type=int, default=2, metavar="N",
+                       help="number of tenant streams (tenant-0 … tenant-N-1)")
+    serve.add_argument("--pulsars", type=int, default=4)
+    serve.add_argument("--observations", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base seed; tenant i streams seed+i")
+    serve.add_argument("--weights", type=float, nargs="+", default=None,
+                       metavar="W", help="per-tenant fair-share weights "
+                       "(repeated cyclically; default: all 1.0)")
+    serve.add_argument("--batch-interval", type=float, default=1.0, metavar="S")
+    serve.add_argument("--arrival-rate", type=float, default=4000.0,
+                       metavar="ROWS_PER_S")
+    serve.add_argument("--capacity", type=float, default=None,
+                       metavar="ROWS_PER_S",
+                       help="driver capacity for admission control "
+                            "(default: derived from the cost model)")
+    serve.add_argument("--admission", choices=["degrade", "reject", "off"],
+                       default="degrade",
+                       help="reaction to aggregate demand above capacity")
+    serve.add_argument("--model", default=None, metavar="PATH",
+                       help="saved classifier, hot-loaded into the shared "
+                            "model cache for in-stream scoring")
+    serve.add_argument("--backend", choices=["serial", "simulated", "parallel"],
+                       default=None,
+                       help="execution backend (default: REPRO_BACKEND or serial)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for --backend parallel")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the shared observability event log here")
+    serve.add_argument("--tenant-trace-dir", default=None, metavar="DIR",
+                       help="also write one private JSONL log per tenant here")
+
     cls = sub.add_parser("classify", help="benchmark a learner")
     cls.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
     cls.add_argument("--learner", choices=["MPN", "SMO", "JRip", "J48", "PART", "RF"],
@@ -116,6 +152,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("log", help="path to a JSONL event log (--trace-out)")
     trace.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
+    trace.add_argument("--tenant", default=None, metavar="ID",
+                       help="restrict the report to one tenant's events "
+                            "(matches the tenant/pool fields)")
 
     cand = sub.add_parser("candidates",
                           help="query the persistent candidate database")
@@ -245,6 +284,77 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"median batch delay: {p50:.3f} s")
     print(f"checkpoints written: {result.checkpoints_written}"
           + (f", recoveries: {result.n_recoveries}" if result.n_recoveries else ""))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import (
+        AdmissionConfig,
+        PipelineConfig,
+        ServingConfig,
+        StreamingConfig,
+        TenantConfig,
+        run_serving,
+    )
+
+    session = _obs_session(args.trace_out)
+    if session is None and args.tenant_trace_dir:
+        # Per-tenant JSONLs are views over the shared session, so routing
+        # them requires an (in-memory) enabled session even without
+        # --trace-out.
+        from repro.obs import ObsConfig, ObsSession
+
+        session = ObsSession(ObsConfig(enabled=True))
+    weights = args.weights or [1.0]
+    tenants = tuple(
+        TenantConfig(
+            tenant_id=f"tenant-{i}",
+            streaming=StreamingConfig(
+                pipeline=PipelineConfig(
+                    survey=args.survey, seed=args.seed + i,
+                    n_pulsars=args.pulsars,
+                    n_observations=args.observations,
+                ),
+                batch_interval_s=args.batch_interval,
+                arrival_rate=args.arrival_rate,
+                model_path=args.model,
+            ),
+            weight=weights[i % len(weights)],
+        )
+        for i in range(args.tenants)
+    )
+    config = ServingConfig(
+        tenants=tenants,
+        admission=AdmissionConfig(mode=args.admission,
+                                  capacity_rows_per_s=args.capacity),
+        obs_config=session,
+        tenant_trace_dir=args.tenant_trace_dir,
+        backend=args.backend, num_workers=args.workers,
+    )
+    result = run_serving(config)
+    if session is not None:
+        session.close()
+        if args.trace_out:
+            print(f"trace written: {args.trace_out}")
+    print(f"tenants: {args.tenants} ({len(result.tenants)} admitted, "
+          f"{len(result.rejected)} rejected)")
+    print(f"batches executed: {result.n_batches}")
+    shares = result.shares()
+    print(f"{'tenant':10s} {'weight':>6} {'batches':>7} {'pulses':>6} "
+          f"{'p99 delay':>9} {'share':>6}")
+    for tenant in tenants:
+        tid = tenant.tenant_id
+        if tid in result.rejected:
+            print(f"{tid:10s} {tenant.weight:>6.1f}  rejected: "
+                  f"{result.rejected[tid]}")
+            continue
+        res = result.tenants[tid]
+        delays = sorted(b.scheduling_delay_s for b in res.batches)
+        p99 = delays[min(len(delays) - 1, int(0.99 * len(delays)))] if delays else 0.0
+        print(f"{tid:10s} {tenant.weight:>6.1f} {res.n_batches:>7} "
+              f"{res.n_pulses:>6} {p99:>8.3f}s {shares.get(tid, 0.0):>6.3f}")
+    if args.tenant_trace_dir:
+        print(f"per-tenant traces written under: {args.tenant_trace_dir}")
     return 0
 
 
@@ -389,7 +499,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import build_report, render_json, render_text
 
-    report = build_report(args.log)
+    report = build_report(args.log, tenant=args.tenant)
     print(render_json(report) if args.json else render_text(report), end="")
     return 0
 
@@ -400,6 +510,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "identify": _cmd_identify,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "classify": _cmd_classify,
         "simulate": _cmd_simulate,
         "trace-report": _cmd_trace_report,

@@ -17,14 +17,14 @@
 - :mod:`repro.core.pipeline` — the four-stage scientific workflow of Fig. 2.
 """
 
-from repro.core.bins import dynamic_bin_size
-from repro.core.search import SearchParams, find_single_pulses, find_single_pulses_recursive
-from repro.core.rapid import RapidResult, SinglePulse, run_rapid_on_cluster, run_rapid_observation
-from repro.core.features import FEATURE_NAMES, PulseFeatures, extract_pulse_features
 from repro.core.alm import ALM_SCHEMES, AlmScheme, label_instances
-from repro.core.multithreaded import MultithreadedRapid, ThreadedBoxModel
+from repro.core.bins import dynamic_bin_size
 from repro.core.drapid import DRapidDriver, DRapidResult
-from repro.core.pipeline import SinglePulsePipeline, PipelineResult
+from repro.core.features import FEATURE_NAMES, PulseFeatures, extract_pulse_features
+from repro.core.multithreaded import MultithreadedRapid, ThreadedBoxModel
+from repro.core.pipeline import PipelineResult, SinglePulsePipeline
+from repro.core.rapid import RapidResult, SinglePulse, run_rapid_observation, run_rapid_on_cluster
+from repro.core.search import SearchParams, find_single_pulses, find_single_pulses_recursive
 
 __all__ = [
     "ALM_SCHEMES",

@@ -15,10 +15,10 @@ Public API:
 - :class:`~repro.dfs.blocks.Block`, :class:`~repro.dfs.blocks.BlockId`.
 """
 
-from repro.dfs.blocks import Block, BlockId, DEFAULT_BLOCK_SIZE
-from repro.dfs.namenode import FileEntry, NameNode
-from repro.dfs.datanode import DataNode, DataNodeFullError
+from repro.dfs.blocks import DEFAULT_BLOCK_SIZE, Block, BlockId
 from repro.dfs.client import DFSClient, DFSError, FileNotFoundInDFS, HeartbeatReport
+from repro.dfs.datanode import DataNode, DataNodeFullError
+from repro.dfs.namenode import FileEntry, NameNode
 
 __all__ = [
     "Block",

@@ -38,9 +38,22 @@ class MemoConfig:
     max_memory_entries: int = 64
     #: Record classified pulses into the candidate database.
     store_candidates: bool = True
+    #: Isolation namespace: a sub-store under ``dir``.  The serving tier
+    #: gives each tenant its own namespace so one tenant's entries are
+    #: invisible to (and cannot be evicted by) another's.
+    namespace: str | None = None
+
+    def for_namespace(self, namespace: str) -> "MemoConfig":
+        """This config scoped to an isolation namespace (e.g. a tenant id)."""
+        import dataclasses
+
+        return dataclasses.replace(self, namespace=namespace, db_path=None)
 
     def resolved_dir(self) -> str:
-        return self.dir or os.path.join(tempfile.gettempdir(), "repro-memo")
+        base = self.dir or os.path.join(tempfile.gettempdir(), "repro-memo")
+        if self.namespace:
+            return os.path.join(base, "ns-" + self.namespace)
+        return base
 
     def resolved_db_path(self) -> str:
         return self.db_path or os.path.join(self.resolved_dir(), "candidates.sqlite")

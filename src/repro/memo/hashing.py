@@ -46,7 +46,8 @@ __all__ = [
 ]
 
 #: Cache format version; part of every key.
-MEMO_FORMAT = 1
+#: 2: JobMetrics gained a ``pool`` field (pickled inside stored job entries).
+MEMO_FORMAT = 2
 
 
 def digest(parts: Iterable[str]) -> str:

@@ -22,19 +22,19 @@ Support: stratified cross-validation and trial running
 (:mod:`repro.ml.smote`), confusion-matrix metrics (:mod:`repro.ml.metrics`).
 """
 
-from repro.ml.dataset import Dataset
-from repro.ml.metrics import ClassificationReport, confusion_matrix, scores_from_confusion
-from repro.ml.validation import cross_validate, stratified_kfold
-from repro.ml.smote import smote, balance_with_smote
-from repro.ml.tree import J48
-from repro.ml.forest import RandomForest
-from repro.ml.rules import JRip, PART
-from repro.ml.svm import SMO
-from repro.ml.mlp import MLP
-from repro.ml.feature_selection import FS_METHODS, rank_features, select_top_k
 from repro.ml.curves import PrCurve, RocCurve, candidates_to_inspect, pr_curve, roc_curve
-from repro.ml.persistence import load_benchmark, load_model, save_benchmark, save_model
+from repro.ml.dataset import Dataset
 from repro.ml.distributed import DistributedRandomForest
+from repro.ml.feature_selection import FS_METHODS, rank_features, select_top_k
+from repro.ml.forest import RandomForest
+from repro.ml.metrics import ClassificationReport, confusion_matrix, scores_from_confusion
+from repro.ml.mlp import MLP
+from repro.ml.persistence import load_benchmark, load_model, save_benchmark, save_model
+from repro.ml.rules import PART, JRip
+from repro.ml.smote import balance_with_smote, smote
+from repro.ml.svm import SMO
+from repro.ml.tree import J48
+from repro.ml.validation import cross_validate, stratified_kfold
 
 LEARNERS = {
     "MPN": MLP,

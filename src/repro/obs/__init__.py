@@ -34,7 +34,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.replay import ReplayError, replay_all_job_metrics, replay_job_metrics
 from repro.obs.report import build_report, render_json, render_text
-from repro.obs.session import NULL_OBS, ObsSession
+from repro.obs.session import NULL_OBS, ObsSession, TenantObsSession
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "ObsSession",
     "ReplayError",
     "Span",
+    "TenantObsSession",
     "Timer",
     "Tracer",
     "build_report",

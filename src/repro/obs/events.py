@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Any, IO, Iterable
+from typing import IO, Any, Iterable
 
 # -- event type vocabulary ---------------------------------------------------
 # Sparklet job/stage/task lifecycle (consumed by the replay reader).
@@ -73,6 +73,12 @@ WATERMARK_ADVANCED = "watermark_advanced"
 RATE_UPDATED = "rate_updated"
 CHECKPOINT_WRITTEN = "checkpoint_written"
 DRIVER_RECOVERED = "driver_recovered"
+
+# Multi-tenant serving tier (repro.streaming.sessions / serving).
+SESSION_ADMITTED = "session_admitted"
+SESSION_REJECTED = "session_rejected"
+SESSION_DEGRADED = "session_degraded"
+MODEL_SWAPPED = "model_swapped"
 
 
 class EventLog:

@@ -65,7 +65,8 @@ def replay_job_metrics(source: str | Path | Iterable[dict]) -> list[JobMetrics]:
     for ev in events:
         etype = ev.get("type")
         if etype == JOB_START:
-            open_jobs.append(JobMetrics(job_id=ev["job_id"]))
+            open_jobs.append(JobMetrics(job_id=ev["job_id"],
+                                        pool=ev.get("pool", "default")))
         elif etype == JOB_END:
             if not open_jobs:
                 raise ReplayError(f"job_end without job_start: {ev}")

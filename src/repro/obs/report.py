@@ -14,12 +14,16 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.events import (
+    BATCH_COMPLETED,
+    BATCH_SUBMITTED,
     DFS_HEARTBEAT,
     DFS_PUT,
     DFS_REREPLICATE,
     EXECUTOR_BLACKLISTED,
     EXECUTOR_LOST,
     FAULT_INJECTED,
+    JOB_END,
+    JOB_START,
     SHM_SEGMENT_CREATED,
     SHM_SEGMENT_RELEASED,
     SIM_STAGE,
@@ -50,9 +54,90 @@ def _table(headers: list[str], rows: list[list[Any]]) -> str:
     return "\n".join(lines)
 
 
-def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
-    """Aggregate an event log into a JSON-able report dict."""
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[idx]
+
+
+def _tenant_events(events: list[dict], tenant: str) -> list[dict]:
+    """One tenant's slice of a shared multi-tenant event log.
+
+    Engine/session events carry explicit ``tenant``/``pool`` fields; stage
+    and task events carry neither, but the shared driver executes jobs
+    strictly sequentially, so everything between a tenant's ``job_start``
+    (whose ``pool`` names the tenant) and its ``job_end`` belongs to it.
+    """
+    kept: list[dict] = []
+    in_tenant_job = False
+    for e in events:
+        etype = e.get("type")
+        tagged = e.get("tenant") == tenant or e.get("pool") == tenant
+        if etype == JOB_START:
+            in_tenant_job = tagged
+            if tagged:
+                kept.append(e)
+        elif etype == JOB_END:
+            if in_tenant_job:
+                kept.append(e)
+            in_tenant_job = False
+        elif in_tenant_job or tagged:
+            kept.append(e)
+    return kept
+
+
+def _pool_summaries(events: list[dict]) -> list[dict[str, Any]]:
+    """Per-pool scheduling-delay and service summary (streaming + jobs)."""
+    delays: dict[str, list[float]] = {}
+    processing: dict[str, float] = {}
+    n_jobs: dict[str, int] = {}
+    for e in events:
+        etype = e.get("type")
+        if etype == BATCH_SUBMITTED:
+            pool = e.get("pool", "default")
+            delays.setdefault(pool, []).append(
+                float(e.get("start_s", 0.0)) - float(e.get("boundary_s", 0.0))
+            )
+        elif etype == BATCH_COMPLETED:
+            pool = e.get("pool", "default")
+            processing[pool] = processing.get(pool, 0.0) + float(
+                e.get("processing_s", 0.0)
+            )
+        elif etype == JOB_START:
+            pool = e.get("pool", "default")
+            n_jobs[pool] = n_jobs.get(pool, 0) + 1
+    pools = sorted(set(delays) | set(processing) | set(n_jobs))
+    out = []
+    for pool in pools:
+        d = sorted(delays.get(pool, []))
+        out.append(
+            {
+                "pool": pool,
+                "n_batches": len(d),
+                "n_jobs": n_jobs.get(pool, 0),
+                "sched_delay_mean_s": sum(d) / len(d) if d else 0.0,
+                "sched_delay_p50_s": _percentile(d, 0.50),
+                "sched_delay_p99_s": _percentile(d, 0.99),
+                "processing_s": processing.get(pool, 0.0),
+            }
+        )
+    return out
+
+
+def build_report(
+    source: str | Path | Iterable[dict], *, tenant: str | None = None
+) -> dict[str, Any]:
+    """Aggregate an event log into a JSON-able report dict.
+
+    ``tenant`` restricts the report to one tenant's slice of a shared
+    multi-tenant log (see :func:`_tenant_events`) — the serving analogue of
+    grepping one service out of a fleet's log.
+    """
     events = read_events(source)
+    if tenant is not None:
+        events = _tenant_events(events, tenant)
     jobs = replay_job_metrics(events)
 
     # -- per-stage timeline ------------------------------------------------
@@ -181,6 +266,7 @@ def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
 
     return {
         "summary": {
+            "tenant": tenant,
             "n_events": len(events),
             "n_jobs": len(jobs),
             "n_stage_executions": len(stages),
@@ -205,6 +291,7 @@ def build_report(source: str | Path | Iterable[dict]) -> dict[str, Any]:
         },
         "faults_injected": faults,
         "dfs": dfs,
+        "pools": _pool_summaries(events),
         "spans": spans,
         "sim_stages": sim_stages,
     }
@@ -215,6 +302,8 @@ def render_text(report: dict[str, Any]) -> str:
     out: list[str] = []
     s = report["summary"]
     out.append("== run summary ==")
+    if s.get("tenant"):
+        out.append(f"tenant: {s['tenant']}")
     out.append(
         f"events={s['n_events']}  jobs={s['n_jobs']}  "
         f"stage-executions={s['n_stage_executions']}  tasks={s['n_tasks']}  "
@@ -295,6 +384,19 @@ def render_text(report: dict[str, Any]) -> str:
         out.append(
             f"puts={d['puts']}  bytes={d['bytes_written']}  "
             f"heartbeats={d['heartbeats']}  replicas-restored={d['replicas_restored']}"
+        )
+
+    if report.get("pools"):
+        out.append("\n== scheduling pools ==")
+        out.append(
+            _table(
+                ["pool", "batches", "jobs", "delay mean s", "delay p50 s",
+                 "delay p99 s", "processing s"],
+                [[r["pool"], r["n_batches"], r["n_jobs"],
+                  r["sched_delay_mean_s"], r["sched_delay_p50_s"],
+                  r["sched_delay_p99_s"], r["processing_s"]]
+                 for r in report["pools"]],
+            )
         )
 
     if report["spans"]:

@@ -78,6 +78,18 @@ class ObsSession:
         if self.enabled:
             self.log.close()
 
+    # -- multi-tenant views --------------------------------------------------
+    def for_tenant(self, tenant_id: str, *, pool: str | None = None,
+                   path: str | None = None) -> "TenantObsSession":
+        """A per-tenant view of this session (see :class:`TenantObsSession`).
+
+        Every event emitted through the view carries ``tenant`` and
+        ``pool`` fields in the shared log; with ``path`` the view also
+        routes a private copy of the tenant's events to its own JSONL
+        file, so one tenant's trace can be shipped without the others'.
+        """
+        return TenantObsSession(self, tenant_id, pool=pool, path=path)
+
     # -- construction --------------------------------------------------------
     @classmethod
     def from_config(cls, config: "ObsConfig | ObsSession | None") -> "ObsSession":
@@ -93,6 +105,72 @@ class ObsSession:
         if config is None or not config.enabled:
             return NULL_OBS
         return cls(config)
+
+
+class TenantObsSession:
+    """One tenant's window onto a shared :class:`ObsSession`.
+
+    Implements the session interface the engine and DFS consume (enabled /
+    emit / events / tracer / registry / flush / close), adding the tenant
+    identity to every event and optionally mirroring the tenant's events
+    into a private :class:`~repro.obs.events.EventLog`.  Tracer and
+    registry are the parent's: spans stay one tree, metrics one registry
+    (per-tenant series are separated by the event fields).  Disabled
+    parents yield a disabled view — the NULL_OBS fast path survives.
+    """
+
+    __slots__ = ("enabled", "parent", "tenant", "pool", "private_log")
+
+    def __init__(self, parent: ObsSession, tenant_id: str, *,
+                 pool: str | None = None, path: str | None = None) -> None:
+        self.parent = parent
+        self.enabled = parent.enabled
+        self.tenant = tenant_id
+        #: Scheduler pool the tenant's jobs run under (defaults 1:1).
+        self.pool = pool if pool is not None else tenant_id
+        self.private_log = (
+            EventLog(path) if (path is not None and parent.enabled) else None
+        )
+
+    # Shared pieces delegate to the parent.
+    @property
+    def config(self) -> ObsConfig:
+        return self.parent.config
+
+    @property
+    def log(self):
+        return self.parent.log
+
+    @property
+    def tracer(self):
+        return self.parent.tracer
+
+    @property
+    def registry(self):
+        return self.parent.registry
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self.parent.emit(etype, tenant=self.tenant, pool=self.pool, **fields)
+        if self.private_log is not None:
+            self.private_log.emit(etype, tenant=self.tenant, pool=self.pool,
+                                  **fields)
+
+    def events(self) -> list[dict[str, Any]]:
+        """This tenant's events in the shared log."""
+        return [e for e in self.parent.events()
+                if e.get("tenant") == self.tenant]
+
+    def flush(self) -> None:
+        self.parent.flush()
+        if self.private_log is not None:
+            self.private_log.flush()
+
+    def close(self) -> None:
+        """Close the private log only; the shared session outlives the view."""
+        if self.private_log is not None:
+            self.private_log.close()
 
 
 _NULL_TRACER = _NullTracer()

@@ -22,6 +22,7 @@ the parts of that stack the paper's design depends on:
   Beowulf cluster, which we do not have (see DESIGN.md).
 """
 
+from repro.sparklet.cluster import ClusterConfig, ExecutorSpec, ResourceManager
 from repro.sparklet.context import SparkletContext
 from repro.sparklet.faults import (
     EXECUTOR_LOSS,
@@ -34,10 +35,10 @@ from repro.sparklet.faults import (
     FetchFailedException,
     TaskFailure,
 )
-from repro.sparklet.partitioner import HashPartitioner, Partitioner, RangePartitioner
-from repro.sparklet.rdd import RDD
 from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
-from repro.sparklet.cluster import ClusterConfig, ExecutorSpec, ResourceManager
+from repro.sparklet.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.sparklet.pools import DEFAULT_POOL, PoolConfig, SchedulerPools
+from repro.sparklet.rdd import RDD
 from repro.sparklet.simulation import (
     SimFaultProfile,
     SimulatedRun,
@@ -48,6 +49,7 @@ from repro.sparklet.simulation import (
 
 __all__ = [
     "ClusterConfig",
+    "DEFAULT_POOL",
     "EXECUTOR_LOSS",
     "ExecutorLostFailure",
     "ExecutorSpec",
@@ -59,9 +61,11 @@ __all__ = [
     "HashPartitioner",
     "JobMetrics",
     "Partitioner",
+    "PoolConfig",
     "RDD",
     "RangePartitioner",
     "ResourceManager",
+    "SchedulerPools",
     "SimFaultProfile",
     "SimulatedRun",
     "SparkletContext",

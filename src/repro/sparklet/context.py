@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import itertools
 import os
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.obs.session import ObsSession
 from repro.sparklet import executor as executor_mod
 from repro.sparklet.metrics import JobMetrics
-from repro.sparklet.rdd import ParallelCollectionRDD, RDD, TextFileRDD
+from repro.sparklet.pools import DEFAULT_POOL, PoolConfig
+from repro.sparklet.rdd import RDD, ParallelCollectionRDD, TextFileRDD
 from repro.sparklet.scheduler import DAGScheduler, Runtime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,6 +85,9 @@ class SparkletContext:
         self._rdd_counter = 0
         self._shuffle_counter = 0
         self._closed = False
+        #: Pool subsequent actions are submitted to (Spark's
+        #: ``spark.scheduler.pool`` thread-local, flattened to the context).
+        self._current_pool = DEFAULT_POOL
         if fault_config is not None:
             self.install_faults(fault_config)
 
@@ -115,6 +120,35 @@ class SparkletContext:
         self.runtime.fault_injector = injector
         self.scheduler.blacklist_threshold = config.max_failures_per_executor
         return injector
+
+    # -- fair-scheduler pools ------------------------------------------------
+    def register_pool(self, name: str, weight: float = 1.0,
+                      min_share: float = 0.0) -> None:
+        """Declare (or re-weight) a scheduler pool for job submission."""
+        self.runtime.pools.register(PoolConfig(name, weight=weight,
+                                               min_share=min_share))
+
+    def set_pool(self, name: str | None) -> None:
+        """Route subsequent actions to ``name`` (None restores the default)."""
+        self._current_pool = self.runtime.pools.resolve(name)
+
+    @property
+    def current_pool(self) -> str:
+        return self._current_pool
+
+    @contextmanager
+    def pool(self, name: str) -> Iterator[None]:
+        """Scoped pool assignment: actions inside the block run on ``name``."""
+        previous = self._current_pool
+        self.set_pool(name)
+        try:
+            yield
+        finally:
+            self._current_pool = previous
+
+    def pool_stats(self) -> dict[str, dict[str, float]]:
+        """Per-pool service accounting (weights, shares, jobs picked)."""
+        return self.runtime.pools.stats()
 
     # -- id allocation (used by RDD/ShuffledRDD constructors) ---------------
     def _next_rdd_id(self) -> int:
@@ -174,7 +208,8 @@ class SparkletContext:
         memoize: bool = True,
     ) -> list[Any]:
         results, _job = self.scheduler.run_job(rdd, func, partitions,
-                                               memoize=memoize)
+                                               memoize=memoize,
+                                               pool=self._current_pool)
         return results
 
     def last_job_metrics(self) -> JobMetrics:

@@ -60,6 +60,7 @@ from repro.sparklet.faults import (
     TaskFailure,
 )
 from repro.sparklet.metrics import TaskMetrics, estimate_bytes
+from repro.sparklet.pools import pool_salt
 from repro.sparklet.shuffle import ShuffleManager
 
 __all__ = [
@@ -579,7 +580,7 @@ class WorkerPool:
                     raise TimeoutError(
                         f"parallel backend: none of {len(tokens)} tasks "
                         f"completed within {timeout:.0f}s"
-                    )
+                    ) from None
                 continue
             token = msg[1]
             handle = self._workers.get(msg[2])
@@ -805,7 +806,9 @@ class ParallelBackend:
                     # Same pre-attempt parent re-check as the serial engine.
                     if shuffle_reads:
                         sched._ensure_parent_shuffles(stage.rdd, job)
-                    executor_id = sched.runtime.executors.pick(split, attempt)
+                    executor_id = sched.runtime.executors.pick(
+                        split, attempt, pool_salt(job.pool)
+                    )
                     if obs.enabled:
                         obs.emit(obs_events.TASK_START, stage_id=sm.stage_id,
                                  attempt=sm.attempt, partition=split,

@@ -224,14 +224,17 @@ class ExecutorPool:
     def healthy_ids(self) -> list[str]:
         return [e.executor_id for e in self._executors.values() if e.healthy]
 
-    def pick(self, partition: int, attempt: int) -> str:
+    def pick(self, partition: int, attempt: int, salt: int = 0) -> str:
         """Deterministic placement: rotate over healthy executors.
 
         The attempt index participates so a retried task lands on a
         *different* executor than the attempt that just failed there.
+        ``salt`` offsets the rotation per scheduler pool, so co-resident
+        tenants spread over different executor subsets; the default pool
+        salts to 0, preserving the historical single-tenant placement.
         """
         healthy = self.healthy_ids()
-        return healthy[(partition + 7 * (attempt - 1)) % len(healthy)]
+        return healthy[(partition + salt + 7 * (attempt - 1)) % len(healthy)]
 
     def record_failure(self, executor_id: str, threshold: int) -> bool:
         """Count a task failure on an executor; blacklist past ``threshold``.

@@ -204,15 +204,23 @@ class JobMetrics:
 
     job_id: int
     stages: list[StageMetrics] = field(default_factory=list)
+    #: Fair-scheduler pool the job was submitted to (tenant identity in the
+    #: serving tier; "default" for every single-tenant run).
+    pool: str = "default"
 
     def to_dict(self) -> dict[str, Any]:
-        return {"job_id": self.job_id, "stages": [s.to_dict() for s in self.stages]}
+        return {
+            "job_id": self.job_id,
+            "pool": self.pool,
+            "stages": [s.to_dict() for s in self.stages],
+        }
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "JobMetrics":
         return cls(
             job_id=d["job_id"],
             stages=[StageMetrics.from_dict(s) for s in d.get("stages", [])],
+            pool=d.get("pool", "default"),
         )
 
     @property
@@ -256,6 +264,6 @@ class JobMetrics:
 
     def merge(self, other: "JobMetrics") -> "JobMetrics":
         """Concatenate stages of two jobs (e.g., a multi-action pipeline)."""
-        merged = JobMetrics(job_id=self.job_id)
+        merged = JobMetrics(job_id=self.job_id, pool=self.pool)
         merged.stages = list(self.stages) + list(other.stages)
         return merged

@@ -49,16 +49,18 @@ from repro.sparklet.faults import (
     TaskFailure,
 )
 from repro.sparklet.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.sparklet.pools import SchedulerPools, pool_salt
 from repro.sparklet.rdd import (
+    RDD,
     Dependency,
     NarrowDependency,
-    RDD,
     ShuffleDependency,
 )
 from repro.sparklet.shuffle import ShuffleManager
 
 __all__ = [
     "DAGScheduler",
+    "JobHandle",
     "Runtime",
     "Stage",
     "TaskFailure",
@@ -101,6 +103,11 @@ class Runtime:
         #: Optional :class:`repro.memo.config.MemoSession` enabling
         #: lineage-hash memoization of stage and job outputs.
         self.memo: Any | None = None
+        #: Fair-scheduler pools every job submission routes through.  The
+        #: single-tenant path is the degenerate case (one "default" pool,
+        #: one queued entry at a time — FIFO); the serving tier registers
+        #: one pool per tenant and lets queued jobs interleave fairly.
+        self.pools = SchedulerPools()
 
 
 class Stage:
@@ -120,6 +127,29 @@ class Stage:
     def __repr__(self) -> str:  # pragma: no cover
         kind = "ShuffleMapStage" if self.is_shuffle_map else "ResultStage"
         return f"<{kind} {self.stage_id} rdd={self.rdd.name!r}>"
+
+
+class JobHandle:
+    """A job queued on a scheduler pool, resolved when the drain loop runs it."""
+
+    __slots__ = ("pool", "spec", "done", "results", "job", "error")
+
+    def __init__(self, pool: str, spec: tuple) -> None:
+        self.pool = pool
+        #: (rdd, func, partitions, memoize) captured at submission.
+        self.spec = spec
+        self.done = False
+        self.results: list[Any] | None = None
+        self.job: JobMetrics | None = None
+        self.error: BaseException | None = None
+
+    def result(self) -> tuple[list[Any], JobMetrics]:
+        if not self.done:
+            raise RuntimeError("job has not executed yet; call drain()")
+        if self.error is not None:
+            raise self.error
+        assert self.results is not None and self.job is not None
+        return self.results, self.job
 
 
 class DAGScheduler:
@@ -200,6 +230,46 @@ class DAGScheduler:
                     break
                 self._run_shuffle_map_stage(stage, job, missing or None)
 
+    # -- submission (fair-share pools) --------------------------------------
+    def submit_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: list[int] | None = None,
+        memoize: bool = True,
+        pool: str | None = None,
+    ) -> "JobHandle":
+        """Queue a job on its pool without executing it yet.
+
+        Concurrent submissions from several pools are drained in fair order
+        (see :class:`~repro.sparklet.pools.SchedulerPools`) by
+        :meth:`drain` or by the first :meth:`run_job` caller.
+        """
+        handle = JobHandle(self.runtime.pools.resolve(pool),
+                           (rdd, func, partitions, memoize))
+        self.runtime.pools.submit(handle.pool, handle)
+        return handle
+
+    def drain(self) -> None:
+        """Execute every queued job, repeatedly picking the fairest pool."""
+        while self._drain_one():
+            pass
+
+    def _drain_one(self) -> bool:
+        picked = self.runtime.pools.next_entry(self.runtime.pools.total_service())
+        if picked is None:
+            return False
+        pool_name, handle = picked
+        rdd, func, partitions, memoize = handle.spec
+        try:
+            handle.results, handle.job = self._execute_job(
+                rdd, func, partitions, memoize, pool_name
+            )
+        except Exception as exc:
+            handle.error = exc
+        handle.done = True
+        return True
+
     # -- execution ---------------------------------------------------------
     def run_job(
         self,
@@ -207,9 +277,26 @@ class DAGScheduler:
         func: Callable[[Iterator[Any]], Any],
         partitions: list[int] | None = None,
         memoize: bool = True,
+        pool: str | None = None,
+    ) -> tuple[list[Any], JobMetrics]:
+        handle = self.submit_job(rdd, func, partitions, memoize=memoize, pool=pool)
+        # Drain until our own entry has executed; jobs pre-queued on other
+        # pools interleave here according to the fair ordering.
+        while not handle.done:
+            if not self._drain_one():  # pragma: no cover - queue invariant
+                raise RuntimeError("scheduler queue empty before job executed")
+        return handle.result()
+
+    def _execute_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: list[int] | None,
+        memoize: bool,
+        pool: str,
     ) -> tuple[list[Any], JobMetrics]:
         final_stage = self._new_stage(rdd, None)
-        job = JobMetrics(job_id=self._next_job_id)
+        job = JobMetrics(job_id=self._next_job_id, pool=pool)
         self._next_job_id += 1
         obs = self.runtime.obs
 
@@ -255,7 +342,8 @@ class DAGScheduler:
                 return entry["results"], job
 
         if obs.enabled:
-            obs.emit(obs_events.JOB_START, job_id=job.job_id, rdd=rdd.name)
+            obs.emit(obs_events.JOB_START, job_id=job.job_id, rdd=rdd.name,
+                     pool=job.pool)
             if memo is not None:
                 obs.emit(obs_events.CACHE_MISS, scope="job", key=jkey,
                          job_id=job.job_id)
@@ -263,19 +351,24 @@ class DAGScheduler:
         acc_before = self._acc_snapshot() if memo is not None else {}
 
         results: list[Any] = []
-        for stage in order:
-            if stage.is_shuffle_map:
-                assert stage.shuffle_dep is not None
-                missing = self._missing_map_partitions(stage)
-                if not missing and stage.shuffle_dep.shuffle_id in self._completed_shuffles:
-                    continue  # output still available from a previous job
-                if memo is not None and len(missing) == stage.rdd.num_partitions:
-                    self._run_memoized_map_stage(stage, job, memo, lineage_cache)
+        try:
+            for stage in order:
+                if stage.is_shuffle_map:
+                    assert stage.shuffle_dep is not None
+                    missing = self._missing_map_partitions(stage)
+                    if not missing and stage.shuffle_dep.shuffle_id in self._completed_shuffles:
+                        continue  # output still available from a previous job
+                    if memo is not None and len(missing) == stage.rdd.num_partitions:
+                        self._run_memoized_map_stage(stage, job, memo, lineage_cache)
+                    else:
+                        self._run_shuffle_map_stage(stage, job, missing or None)
                 else:
-                    self._run_shuffle_map_stage(stage, job, missing or None)
-            else:
-                metrics, results = self._run_result_stage(stage, func, partitions, job)
-                job.stages.append(metrics)
+                    metrics, results = self._run_result_stage(stage, func, partitions, job)
+                    job.stages.append(metrics)
+        finally:
+            # Fairness accounting: the pool consumed this much driver
+            # service, whether or not the job ultimately succeeded.
+            self.runtime.pools.charge(job.pool, job.total_task_seconds)
         self.job_history.append(job)
         if obs.enabled:
             obs.emit(obs_events.JOB_END, job_id=job.job_id,
@@ -480,6 +573,7 @@ class DAGScheduler:
         recoveries = 0
         task_key = (stage.stage_id, partition)
         obs = self.runtime.obs
+        salt = pool_salt(job.pool)
         while True:
             attempt += 1
             # A recovery wave can itself be interrupted (e.g. an executor dies
@@ -489,7 +583,7 @@ class DAGScheduler:
             # MapOutputTracker; it is a no-op when the shuffle is whole.
             if shuffle_reads:
                 self._ensure_parent_shuffles(stage.rdd, job)
-            executor_id = self.runtime.executors.pick(partition, attempt)
+            executor_id = self.runtime.executors.pick(partition, attempt, salt)
             for acc in self.runtime.accumulators:
                 acc._begin_attempt()
             if obs.enabled:
@@ -665,7 +759,7 @@ def _memo_stage_copy(sm: StageMetrics) -> StageMetrics:
 
 
 def _memo_job_copy(job: JobMetrics) -> JobMetrics:
-    out = JobMetrics(job_id=job.job_id)
+    out = JobMetrics(job_id=job.job_id, pool=job.pool)
     out.stages = [_memo_stage_copy(s) for s in job.stages]
     return out
 

@@ -311,7 +311,7 @@ def _simulate_stage_events(
             return
         med = statistics.median(completed)
         threshold = spec.multiplier * med
-        for aid, a in enumerate(attempts):
+        for a in attempts:
             if a.cancelled or a.finished or a.is_copy:
                 continue
             if a.task in synthetic_tasks or a.task in done_exec:

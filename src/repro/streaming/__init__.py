@@ -15,7 +15,11 @@ engine over the existing stack:
 - :mod:`~repro.streaming.checkpoint` — durable engine state on the DFS and
   exactly-once crash recovery;
 - :mod:`~repro.streaming.serving` — in-stream classification of finalized
-  pulses.
+  pulses, with a versioned :class:`~repro.streaming.serving.ModelCache`
+  whose hot-swaps take effect at batch boundaries;
+- :mod:`~repro.streaming.sessions` — the multi-tenant serving tier: N
+  engines multiplexed on one driver under fair-share pools with admission
+  control.
 
 The governing invariant, asserted by tests and a hypothesis property
 suite: concatenated streamed output is **byte-identical** to the offline
@@ -41,20 +45,32 @@ from repro.streaming.engine import (
     canonical_ml_text,
     stream_observations,
 )
+from repro.streaming.engine import PreparedBatch
 from repro.streaming.receiver import Block, ReplayReceiver, StreamItem, build_stream
-from repro.streaming.serving import StreamScorer
+from repro.streaming.serving import ModelCache, StreamScorer
+from repro.streaming.sessions import (
+    AdmissionConfig,
+    SessionInfo,
+    SessionManager,
+    weighted_fair_shares,
+)
 from repro.streaming.state import FinalizedUnit, StreamState
 
 __all__ = [
+    "AdmissionConfig",
     "BatchStats",
     "Block",
     "CheckpointError",
     "FinalizedUnit",
     "LinearCostModel",
     "MicroBatchEngine",
+    "ModelCache",
     "PIDConfig",
     "PIDRateEstimator",
+    "PreparedBatch",
     "ReplayReceiver",
+    "SessionInfo",
+    "SessionManager",
     "SimulatedCostModel",
     "SimulatedDriverCrash",
     "StreamScorer",
@@ -65,5 +81,6 @@ __all__ = [
     "canonical_ml_text",
     "read_checkpoint",
     "stream_observations",
+    "weighted_fair_shares",
     "write_checkpoint",
 ]

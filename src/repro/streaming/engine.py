@@ -22,6 +22,7 @@ the offline pipeline.
 from __future__ import annotations
 
 from bisect import bisect_right
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -35,6 +36,7 @@ from repro.obs.events import (
     BLOCK_RECEIVED,
     CHECKPOINT_WRITTEN,
     DRIVER_RECOVERED,
+    MODEL_SWAPPED,
     RATE_UPDATED,
     WATERMARK_ADVANCED,
 )
@@ -122,6 +124,9 @@ class BatchStats:
     n_pulses: int
     n_scored: int
     max_batches_spanned: int   # widest cluster finalized in this batch
+    #: Serving-model version pinned for this batch (0: no scorer, or a
+    #: plain scorer outside any ModelCache).
+    model_version: int = 0
 
     @property
     def total_delay_s(self) -> float:
@@ -191,6 +196,17 @@ def canonical_ml_text(batch: PulseBatch) -> str:
 
 # -- the engine --------------------------------------------------------------
 
+@dataclass(frozen=True)
+class PreparedBatch:
+    """One cut-but-not-yet-executed micro-batch (receiver step output)."""
+
+    batch_id: int
+    boundary_s: float
+    blocks: list
+    n_rows: int
+    rate_limit: float
+
+
 @dataclass
 class MicroBatchEngine:
     """The streaming driver: receiver → batcher → state → job → serving."""
@@ -205,6 +221,13 @@ class MicroBatchEngine:
     obs: ObsSession = NULL_OBS
     #: Disarmed on restored engines so the injected crash fires only once.
     crash_armed: bool = True
+    #: Scheduler pool / tenant identity the engine's batch jobs run under
+    #: (None: jobs use the context's current pool, i.e. "default").
+    tenant: str | None = None
+    #: Admission-control clamp on the receiver rate (rows/s); None means
+    #: the configured ``arrival_rate``.  A degraded tenant gets a lower cap
+    #: — output-safe, because block cutting never changes canonical output.
+    rate_cap: float | None = None
 
     batch_index: int = 0
     free_at: float = 0.0
@@ -262,120 +285,176 @@ class MicroBatchEngine:
             ctx=self.ctx, dfs=self.dfs, grids=self.grids, params=pipe.params,
             num_partitions=pipe.num_partitions, fault_config=pipe.fault_config,
         )
-        result = driver.run(
-            f"{root}/data.csv", f"{root}/clusters.csv",
-            ml_output_path=f"{root}/ml",
+        pool_scope = (
+            self.ctx.pool(self.tenant) if self.tenant is not None
+            else nullcontext()
         )
+        with pool_scope:
+            result = driver.run(
+                f"{root}/data.csv", f"{root}/clusters.csv",
+                ml_output_path=f"{root}/ml",
+            )
         if batch_id not in self.committed:
             self.committed.append(batch_id)
         return result.pulse_batch, result.metrics
 
     # -- the driver loop -----------------------------------------------------
-    def run(self) -> None:
+    @property
+    def active(self) -> bool:
+        """More batches to run: the receiver or the pending state has work."""
+        return not (self.receiver.exhausted and self.state.empty)
+
+    @property
+    def next_boundary(self) -> float:
+        """The batch-interval boundary that will cut the next batch."""
+        return (self.batch_index + 1) * self.config.batch_interval_s
+
+    def cut_next_batch(self) -> PreparedBatch:
+        """Step 1 — receive: cut the next interval's blocks under the rate
+        limit in effect at each block's arrival time.
+
+        Cutting is separated from execution so a :class:`SessionManager
+        <repro.streaming.sessions.SessionManager>` can interleave several
+        engines on one driver.  It must stay *lazy* — called immediately
+        before :meth:`execute_batch`, never batched ahead — because the
+        rate timeline only contains updates from batches that have already
+        completed; cutting early would change which rate limits blocks see
+        and break the solo-equivalence law.
+        """
         cfg = self.config
         obs = self.obs
         interval = cfg.batch_interval_s
         n_blocks = max(1, int(cfg.blocks_per_batch))
         block_dt = interval / n_blocks
-
-        while not (self.receiver.exhausted and self.state.empty):
-            batch_id = self.batch_index + 1
-            if batch_id > cfg.max_batches:
-                raise RuntimeError(
-                    f"stream did not drain within max_batches={cfg.max_batches}; "
-                    "arrival rate or PID min_rate may be too low"
-                )
-            boundary = batch_id * interval
-
-            # 1. Receive: cut this interval's blocks under the rate limit.
-            blocks = []
-            rate_limit = cfg.arrival_rate
-            for j in range(1, n_blocks + 1):
-                arrival = (batch_id - 1) * interval + j * block_dt
-                if cfg.backpressure:
-                    rate_limit = min(cfg.arrival_rate, self._rate_at(arrival))
-                block = self.receiver.poll(
-                    time_s=arrival, interval_s=block_dt,
-                    rate_rows_per_s=rate_limit,
-                )
-                if block.items:
-                    blocks.append(block)
-                    obs.emit(BLOCK_RECEIVED, block_id=block.block_id,
-                             batch_id=batch_id, time_s=round(arrival, 6),
-                             n_rows=block.n_rows,
-                             rate_limit=round(rate_limit, 3))
-
-            # 2. Submit: the serial driver picks the batch up when free.
-            start = max(boundary, self.free_at)
-            queue_depth = sum(1 for s in self.stats if s.start_s > boundary)
-            rows = sum(b.n_rows for b in blocks)
-            obs.emit(BATCH_SUBMITTED, batch_id=batch_id,
-                     boundary_s=round(boundary, 6), start_s=round(start, 6),
-                     n_blocks=len(blocks), n_rows=rows,
-                     queue_depth=queue_depth)
-
-            # 3. State: ingest, advance watermarks, finalize due clusters.
-            touched = self.state.ingest(
-                batch_id, (it for b in blocks for it in b.items)
+        batch_id = self.batch_index + 1
+        if batch_id > cfg.max_batches:
+            raise RuntimeError(
+                f"stream did not drain within max_batches={cfg.max_batches}; "
+                "arrival rate or PID min_rate may be too low"
             )
-            for key, wm in sorted(touched.items()):
-                obs.emit(WATERMARK_ADVANCED, batch_id=batch_id, key=key,
-                         watermark=round(wm, 6))
-            units = self.state.finalize(batch_id)
+        boundary = batch_id * interval
+        cap = self.rate_cap if self.rate_cap is not None else cfg.arrival_rate
+        blocks = []
+        rate_limit = cap
+        for j in range(1, n_blocks + 1):
+            arrival = (batch_id - 1) * interval + j * block_dt
+            if cfg.backpressure:
+                rate_limit = min(cap, self._rate_at(arrival))
+            block = self.receiver.poll(
+                time_s=arrival, interval_s=block_dt,
+                rate_rows_per_s=rate_limit,
+            )
+            if block.items:
+                blocks.append(block)
+                obs.emit(BLOCK_RECEIVED, block_id=block.block_id,
+                         batch_id=batch_id, time_s=round(arrival, 6),
+                         n_rows=block.n_rows,
+                         rate_limit=round(rate_limit, 3))
+        return PreparedBatch(
+            batch_id=batch_id, boundary_s=boundary, blocks=blocks,
+            n_rows=sum(b.n_rows for b in blocks), rate_limit=rate_limit,
+        )
 
-            # 4. Job + serving: the finalized work as a real Sparklet job.
-            pulses, metrics = self._run_batch_job(batch_id, units)
-            n_scored = 0
-            if self.scorer is not None and len(pulses):
-                n_scored = len(self.scorer.score(pulses))
+    def execute_batch(self, prepared: PreparedBatch,
+                      start: float | None = None) -> BatchStats:
+        """Steps 2–8: submit, ingest, job, clock, backpressure, checkpoint.
 
-            # 5. Clock: charge the cost model, record the batch.
-            processing = self.cost_model.batch_seconds(rows, metrics)
-            completed = start + processing
-            self.stats.append(BatchStats(
-                batch_id=batch_id, boundary_s=boundary, start_s=start,
-                completed_s=completed, scheduling_delay_s=start - boundary,
-                processing_s=processing, n_blocks=len(blocks), n_rows=rows,
-                queue_depth=queue_depth, rate_limit=rate_limit,
-                n_clusters_finalized=sum(len(u.cluster_lines) for u in units),
-                n_pulses=len(pulses), n_scored=n_scored,
-                max_batches_spanned=max(
-                    (u.n_batches_spanned for u in units), default=0
-                ),
-            ))
-            self.free_at = completed
-            self.batch_index = batch_id
-            obs.emit(BATCH_COMPLETED, batch_id=batch_id,
-                     processing_s=round(processing, 6),
-                     total_delay_s=round(completed - boundary, 6),
-                     n_clusters=self.stats[-1].n_clusters_finalized,
-                     n_pulses=len(pulses), n_scored=n_scored)
+        ``start`` is when the driver actually picked the batch up; the solo
+        loop uses its own ``free_at``, the session manager passes the shared
+        driver's availability (which is how co-tenant contention becomes
+        scheduling delay).
+        """
+        cfg = self.config
+        obs = self.obs
+        batch_id = prepared.batch_id
+        boundary = prepared.boundary_s
+        blocks = prepared.blocks
+        rows = prepared.n_rows
 
-            # 6. Backpressure: fold the batch into the PID estimator.
-            if self.estimator is not None:
-                new_rate = self.estimator.compute(
-                    completed, rows, processing, start - boundary
-                )
-                if new_rate is not None:
-                    self._push_rate(completed, new_rate)
-                    obs.emit(RATE_UPDATED, batch_id=batch_id,
-                             rate=round(new_rate, 3),
-                             time_s=round(completed, 6))
+        # 2. Submit: the serial driver picks the batch up when free.
+        if start is None:
+            start = max(boundary, self.free_at)
+        queue_depth = sum(1 for s in self.stats if s.start_s > boundary)
+        obs.emit(BATCH_SUBMITTED, batch_id=batch_id,
+                 boundary_s=round(boundary, 6), start_s=round(start, 6),
+                 n_blocks=len(blocks), n_rows=rows,
+                 queue_depth=queue_depth)
 
-            # 7. Fault point: the injected crash fires *before* this batch's
-            # checkpoint — the worst case, maximizing the replay window.
-            if (self.crash_armed and cfg.crash_at_batch is not None
-                    and batch_id >= cfg.crash_at_batch):
-                raise SimulatedDriverCrash(batch_id)
+        # 3. State: ingest, advance watermarks, finalize due clusters.
+        touched = self.state.ingest(
+            batch_id, (it for b in blocks for it in b.items)
+        )
+        for key, wm in sorted(touched.items()):
+            obs.emit(WATERMARK_ADVANCED, batch_id=batch_id, key=key,
+                     watermark=round(wm, 6))
+        units = self.state.finalize(batch_id)
 
-            # 8. Checkpoint: durable state to the DFS.
-            if cfg.checkpoint_interval and batch_id % cfg.checkpoint_interval == 0:
-                n_bytes = write_checkpoint(
-                    self.dfs, cfg.checkpoint_path, self.snapshot()
-                )
-                self.n_checkpoints += 1
-                obs.emit(CHECKPOINT_WRITTEN, batch_id=batch_id,
-                         path=cfg.checkpoint_path, n_bytes=n_bytes)
+        # 4. Job + serving: the finalized work as a real Sparklet job.  A
+        # pending model swap takes effect here — at the batch boundary,
+        # never mid-batch (see ModelCache).
+        if self.scorer is not None and self.scorer.refresh():
+            obs.emit(MODEL_SWAPPED, batch_id=batch_id,
+                     version=self.scorer.version)
+        pulses, metrics = self._run_batch_job(batch_id, units)
+        n_scored = 0
+        if self.scorer is not None and len(pulses):
+            n_scored = len(self.scorer.score(pulses))
+
+        # 5. Clock: charge the cost model, record the batch.
+        processing = self.cost_model.batch_seconds(rows, metrics)
+        completed = start + processing
+        stats = BatchStats(
+            batch_id=batch_id, boundary_s=boundary, start_s=start,
+            completed_s=completed, scheduling_delay_s=start - boundary,
+            processing_s=processing, n_blocks=len(blocks), n_rows=rows,
+            queue_depth=queue_depth, rate_limit=prepared.rate_limit,
+            n_clusters_finalized=sum(len(u.cluster_lines) for u in units),
+            n_pulses=len(pulses), n_scored=n_scored,
+            max_batches_spanned=max(
+                (u.n_batches_spanned for u in units), default=0
+            ),
+            model_version=(self.scorer.version if self.scorer is not None
+                           else 0),
+        )
+        self.stats.append(stats)
+        self.free_at = completed
+        self.batch_index = batch_id
+        obs.emit(BATCH_COMPLETED, batch_id=batch_id,
+                 processing_s=round(processing, 6),
+                 total_delay_s=round(completed - boundary, 6),
+                 n_clusters=stats.n_clusters_finalized,
+                 n_pulses=len(pulses), n_scored=n_scored)
+
+        # 6. Backpressure: fold the batch into the PID estimator.
+        if self.estimator is not None:
+            new_rate = self.estimator.compute(
+                completed, rows, processing, start - boundary
+            )
+            if new_rate is not None:
+                self._push_rate(completed, new_rate)
+                obs.emit(RATE_UPDATED, batch_id=batch_id,
+                         rate=round(new_rate, 3),
+                         time_s=round(completed, 6))
+
+        # 7. Fault point: the injected crash fires *before* this batch's
+        # checkpoint — the worst case, maximizing the replay window.
+        if (self.crash_armed and cfg.crash_at_batch is not None
+                and batch_id >= cfg.crash_at_batch):
+            raise SimulatedDriverCrash(batch_id)
+
+        # 8. Checkpoint: durable state to the DFS.
+        if cfg.checkpoint_interval and batch_id % cfg.checkpoint_interval == 0:
+            n_bytes = write_checkpoint(
+                self.dfs, cfg.checkpoint_path, self.snapshot()
+            )
+            self.n_checkpoints += 1
+            obs.emit(CHECKPOINT_WRITTEN, batch_id=batch_id,
+                     path=cfg.checkpoint_path, n_bytes=n_bytes)
+        return stats
+
+    def run(self) -> None:
+        while self.active:
+            self.execute_batch(self.cut_next_batch())
 
     @property
     def cost_model(self):
@@ -575,6 +654,7 @@ __all__ = [
     "BatchStats",
     "LinearCostModel",
     "MicroBatchEngine",
+    "PreparedBatch",
     "SimulatedCostModel",
     "SimulatedDriverCrash",
     "StreamingResult",

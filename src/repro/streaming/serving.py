@@ -2,11 +2,20 @@
 
 The paper's end state is a pipeline where identification feeds
 classification continuously (the GSP/CRAFTS systems run exactly this
-shape).  Here the serving path is deliberately thin: a trained classifier
-— loaded through :mod:`repro.ml.persistence`'s hardened unpickler — is
-applied to each batch's finalized :class:`~repro.dataplane.PulseBatch`
-feature matrix, so every pulse leaves the engine already labeled and the
-per-batch end-to-end latency (arrival → labeled) is measurable.
+shape).  Two pieces:
+
+- :class:`StreamScorer` — wraps a trained classifier (loaded through
+  :mod:`repro.ml.persistence`'s hardened unpickler) and applies it to each
+  batch's finalized :class:`~repro.dataplane.PulseBatch` feature matrix,
+  so every pulse leaves the engine already labeled.
+- :class:`ModelCache` — the multi-tenant extension: one shared store of
+  loaded models, so N tenant sessions serving the same artifact hold one
+  copy, with *versioned hot-swap*.  Publishing a new model under a key
+  bumps its version; scorers bound to the cache pin (version, model) only
+  at :meth:`StreamScorer.refresh`, which the engine calls at the start of
+  each batch — a swap therefore takes effect at a batch boundary, never
+  mid-batch, and each :class:`~repro.streaming.engine.BatchStats` records
+  exactly which version labeled it.
 """
 
 from __future__ import annotations
@@ -20,15 +29,83 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dataplane import PulseBatch
 
 
+def _require_predict(model: Any) -> None:
+    if not hasattr(model, "predict"):
+        raise TypeError(
+            f"serving model {type(model).__name__} has no predict() method"
+        )
+
+
+class ModelCache:
+    """Shared, versioned store of loaded serving models.
+
+    Keys are logical model names (one per tenant, or one shared by many).
+    ``publish`` installs a model object and bumps the key's version;
+    ``load`` goes through the hardened unpickler and shares the loaded
+    object across keys that name the same path (tenants serving the same
+    artifact do not pay for N copies).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[int, Any]] = {}
+        #: path → loaded model, so repeated loads of one artifact share.
+        self._loaded_paths: dict[str, Any] = {}
+        self.n_loads = 0
+
+    def publish(self, key: str, model: Any) -> int:
+        """Install ``model`` under ``key``; returns the new version (from 1).
+
+        Scorers bound to ``key`` keep serving their pinned version until
+        their next batch-boundary :meth:`StreamScorer.refresh`.
+        """
+        _require_predict(model)
+        version = self.version_of(key) + 1
+        self._entries[key] = (version, model)
+        return version
+
+    def load(self, key: str, path: str | Path) -> int:
+        """Load a persisted model (hardened unpickler) and publish it."""
+        from repro.ml.persistence import load_model
+
+        path = str(path)
+        model = self._loaded_paths.get(path)
+        if model is None:
+            model = load_model(path)
+            self._loaded_paths[path] = model
+            self.n_loads += 1
+        return self.publish(key, model)
+
+    def get(self, key: str) -> tuple[int, Any]:
+        """Current ``(version, model)`` for a key; KeyError when absent."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"no model published under {key!r}")
+        return entry
+
+    def version_of(self, key: str) -> int:
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else 0
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+
 class StreamScorer:
-    """Wraps any trained learner with a ``predict(X)`` method."""
+    """Wraps any trained learner with a ``predict(X)`` method.
+
+    A plain scorer is immutable (version 0).  A cache-bound scorer (see
+    :meth:`from_cache`) pins the cache's current ``(version, model)`` and
+    re-pins on :meth:`refresh` — the hot-swap point.
+    """
 
     def __init__(self, model: Any) -> None:
-        if not hasattr(model, "predict"):
-            raise TypeError(
-                f"serving model {type(model).__name__} has no predict() method"
-            )
+        _require_predict(model)
         self.model = model
+        #: Version of the pinned model (0 outside a ModelCache).
+        self.version = 0
+        self._cache: ModelCache | None = None
+        self._key: str | None = None
 
     @classmethod
     def from_path(cls, path: str | Path) -> "StreamScorer":
@@ -37,11 +114,49 @@ class StreamScorer:
 
         return cls(load_model(path))
 
+    @classmethod
+    def from_cache(cls, cache: ModelCache, key: str) -> "StreamScorer":
+        """A scorer bound to a cache key, pinned at the key's current version."""
+        version, model = cache.get(key)
+        scorer = cls(model)
+        scorer.version = version
+        scorer._cache = cache
+        scorer._key = key
+        return scorer
+
+    def refresh(self) -> bool:
+        """Re-pin the cache's current model; True when a swap took effect.
+
+        Called by the engine at the start of every batch, so a published
+        model version becomes visible exactly at a batch boundary.  A
+        no-op (False) for plain scorers.
+        """
+        if self._cache is None or self._key is None:
+            return False
+        version, model = self._cache.get(self._key)
+        if version == self.version:
+            return False
+        self.model = model
+        self.version = version
+        return True
+
     def score(self, batch: "PulseBatch") -> np.ndarray:
-        """Predicted labels for one batch of finalized pulses."""
+        """Predicted labels for one batch of finalized pulses.
+
+        A model whose predict() returns the wrong number of labels would
+        silently misalign labels with pulses downstream; reject it here
+        with a clear error instead.
+        """
         if not len(batch):
             return np.empty(0, dtype=np.int64)
-        return np.asarray(self.model.predict(batch.features))
+        out = np.asarray(self.model.predict(batch.features))
+        if out.shape[0] != len(batch):
+            raise ValueError(
+                f"serving model {type(self.model).__name__} returned "
+                f"{out.shape[0]} predictions for a batch of {len(batch)} "
+                "pulses; predict() must return one label per row"
+            )
+        return out
 
 
-__all__ = ["StreamScorer"]
+__all__ = ["ModelCache", "StreamScorer"]

@@ -127,7 +127,7 @@ class TestPublicSurface:
     ])
     def test_all_names_resolve(self, module):
         mod = importlib.import_module(module)
-        exported = getattr(mod, "__all__")
+        exported = mod.__all__
         assert exported and len(exported) == len(set(exported))
         for name in exported:
             assert getattr(mod, name) is not None

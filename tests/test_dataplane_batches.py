@@ -19,9 +19,9 @@ from repro.core.rapid import (
     run_rapid_observation_batch,
 )
 from repro.dataplane import (
+    N_FEATURES,
     ClusterBatch,
     MalformedRowError,
-    N_FEATURES,
     PulseBatch,
     SPEBatch,
 )

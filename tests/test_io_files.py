@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.rapid import run_rapid_observation
 from repro.io.spe_files import (
     ClusterRecord,
     build_cluster_file,
@@ -10,7 +11,6 @@ from repro.io.spe_files import (
     read_ml_files,
     upload_observations,
 )
-from repro.core.rapid import run_rapid_observation
 
 
 class TestClusterRecord:

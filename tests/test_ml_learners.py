@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml import J48, JRip, MLP, PART, SMO, LEARNERS, RandomForest
+from repro.ml import J48, LEARNERS, MLP, PART, SMO, JRip, RandomForest
 
 
 def accuracy(clf, X, y):

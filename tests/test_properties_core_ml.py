@@ -1,7 +1,7 @@
 """Property-based tests: core algorithm and ML invariants."""
 
-import numpy as np
 import hypothesis.strategies as st
+import numpy as np
 from hypothesis import HealthCheck, given, settings
 
 from repro.astro.dispersion import dispersion_delay_s, smearing_snr_factor

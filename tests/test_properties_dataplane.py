@@ -5,14 +5,14 @@ serialize round-trip) and checks it agrees with the equivalent computation
 done record at a time — the ISSUE's satellite-3 contract.
 """
 
-import numpy as np
 import hypothesis.strategies as st
+import numpy as np
 from hypothesis import HealthCheck, given, settings
 
 from repro.astro.spe import SPE
 from repro.core.features import PulseFeatures
 from repro.core.rapid import SinglePulse
-from repro.dataplane import ClusterBatch, N_FEATURES, PulseBatch, SPEBatch
+from repro.dataplane import N_FEATURES, ClusterBatch, PulseBatch, SPEBatch
 from repro.io.spe_files import ClusterRecord
 
 SETTINGS = settings(

@@ -1,7 +1,7 @@
 """Property-based tests, second batch: learners, ALM, curves, catalog."""
 
-import numpy as np
 import hypothesis.strategies as st
+import numpy as np
 from hypothesis import HealthCheck, given, settings
 
 from repro.core.alm import ALM_SCHEMES, binarize, label_instances

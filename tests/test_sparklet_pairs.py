@@ -149,7 +149,8 @@ class TestJoins:
         a = ctx.parallelize([(i, "a") for i in range(20)], 3).partition_by(part)
         b = ctx.parallelize([(i, "b") for i in range(20)], 2).partition_by(part)
         # Force materialization of the partition_by shuffles.
-        a.count(), b.count()
+        a.count()
+        b.count()
         joined = a.join(b, partitioner=part)
         # Walk lineage: the cogroup node must have no ShuffleDependency.
         from repro.sparklet.rdd import CoGroupedRDD, ShuffleDependency

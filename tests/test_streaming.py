@@ -55,7 +55,7 @@ class TestReplayReceiver:
         rows = observation.spe_batch.to_csv_rows()
         items = [it.payload for it in build_stream([observation]) if it.kind == DATA]
         by_time: dict[float, list[int]] = {}
-        for i, payload in enumerate(items):
+        for payload in items:
             by_time.setdefault(float(payload.split(",")[2]), []).append(
                 rows.index(payload)
             )

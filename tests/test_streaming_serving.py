@@ -8,6 +8,8 @@ hardened unpickler, and treat an empty batch as a no-op.
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -15,7 +17,7 @@ from repro.dataplane import PulseBatch
 from repro.dataplane.pulse_batch import N_FEATURES
 from repro.ml import J48
 from repro.ml.persistence import save_model
-from repro.streaming.serving import StreamScorer
+from repro.streaming.serving import ModelCache, StreamScorer
 
 
 def _batch(n: int, seed: int = 0) -> PulseBatch:
@@ -75,8 +77,6 @@ def test_from_path_round_trips_through_hardened_unpickler(trained_model, tmp_pat
 
 
 def test_from_path_rejects_hostile_payload(tmp_path):
-    import pickle
-
     class Evil:
         def __reduce__(self):
             import os
@@ -87,5 +87,97 @@ def test_from_path_rejects_hostile_payload(tmp_path):
     path.write_bytes(pickle.dumps(
         {"format_version": 1, "class_name": "J48", "model": Evil()}
     ))
-    with pytest.raises(Exception):
+    with pytest.raises(pickle.UnpicklingError, match="refusing to unpickle"):
         StreamScorer.from_path(path)
+
+
+def test_from_path_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        StreamScorer.from_path(tmp_path / "nope.pkl")
+
+
+def test_from_path_corrupt_file(tmp_path):
+    path = tmp_path / "garbage.pkl"
+    path.write_bytes(b"\x00\x01not a pickle at all\xff")
+    with pytest.raises(pickle.UnpicklingError):
+        StreamScorer.from_path(path)
+
+
+def test_from_path_truncated_artifact(tmp_path, trained_model):
+    path = tmp_path / "model.pkl"
+    save_model(trained_model, path)
+    truncated = tmp_path / "truncated.pkl"
+    truncated.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(pickle.UnpicklingError, match="truncated"):
+        StreamScorer.from_path(truncated)
+
+
+def test_from_path_wrong_payload_shape(tmp_path):
+    path = tmp_path / "notmodel.pkl"
+    path.write_bytes(pickle.dumps({"format_version": 1}))
+    with pytest.raises(ValueError, match="not a saved model"):
+        StreamScorer.from_path(path)
+
+
+class _WrongLengthModel:
+    """A broken learner whose predict() drops rows."""
+
+    def predict(self, X):
+        return np.zeros(max(0, len(X) - 1), dtype=np.int64)
+
+
+def test_score_rejects_wrong_length_predictions():
+    scorer = StreamScorer(_WrongLengthModel())
+    with pytest.raises(ValueError, match="one label per row"):
+        scorer.score(_batch(6))
+
+
+def test_score_rejects_scalar_predictions():
+    class Scalar:
+        def predict(self, X):
+            return np.zeros((1,), dtype=np.int64)
+
+    with pytest.raises(ValueError, match="one label per row"):
+        StreamScorer(Scalar()).score(_batch(4))
+
+
+class TestModelCache:
+    def test_publish_bumps_version(self, trained_model):
+        cache = ModelCache()
+        assert cache.version_of("m") == 0
+        assert cache.publish("m", trained_model) == 1
+        assert cache.publish("m", trained_model) == 2
+        version, model = cache.get("m")
+        assert version == 2 and model is trained_model
+
+    def test_get_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="no model published"):
+            ModelCache().get("absent")
+
+    def test_publish_validates_model(self):
+        with pytest.raises(TypeError, match="predict"):
+            ModelCache().publish("m", object())
+
+    def test_load_shares_one_object_across_keys(self, trained_model, tmp_path):
+        path = tmp_path / "model.pkl"
+        save_model(trained_model, path)
+        cache = ModelCache()
+        cache.load("a", path)
+        cache.load("b", path)
+        assert cache.n_loads == 1
+        assert cache.get("a")[1] is cache.get("b")[1]
+        assert cache.keys == ["a", "b"]
+
+    def test_from_cache_pins_and_refresh_swaps(self, trained_model):
+        cache = ModelCache()
+        cache.publish("m", trained_model)
+        scorer = StreamScorer.from_cache(cache, "m")
+        assert scorer.version == 1
+        assert scorer.refresh() is False  # nothing new
+        cache.publish("m", trained_model)
+        assert scorer.refresh() is True
+        assert scorer.version == 2
+        assert scorer.refresh() is False
+
+    def test_plain_scorer_refresh_is_noop(self, trained_model):
+        assert StreamScorer(trained_model).refresh() is False
