@@ -9,6 +9,9 @@ Times the three front-end stages the ISSUE targets, at several
 - dedispersion alone — per-channel Python shift loop vs
   :func:`repro.astro.kernels.dedisperse_batch`, plus the two-stage subband
   path on a fine DM ladder (where partial-sum reuse pays off);
+- kernel methods — direct/subband/tree × numpy/numba curves on large fine
+  DM grids (``KernelConfig`` dispatch), with in-bench equivalence checks
+  (direct ≡ naive reference; tree within its shift-tolerance law);
 - DBSCAN — dict-of-cells neighbour probes vs the lexsorted cell index.
 
 Writes ``BENCH_frontend_kernels.json`` at the repo root (the perf
@@ -35,7 +38,16 @@ from repro.astro.filterbank import (
     single_pulse_search,
     synthesize_filterbank,
 )
-from repro.astro.kernels import _reference_dedisperse
+from repro.astro.kernels import (
+    HAS_NUMBA,
+    _reference_dedisperse,
+    _tree_effective_shifts,
+    _tree_plan,
+    dedisperse_grid,
+    shift_table,
+    tree_shift_bound,
+)
+from repro.execution import KernelConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_JSON = REPO_ROOT / "BENCH_frontend_kernels.json"
@@ -137,6 +149,85 @@ def bench_dedispersion() -> list[dict]:
     return records
 
 
+#: (name, n_channels, duration_s, dm_lo, dm_step, n_dms).  The fine grids
+#: are where subband/tree reuse pays: neighbouring trial DMs share most of
+#: their per-subband partial sums.  "fine-large" is the acceptance scale.
+KERNEL_SCALES: tuple[tuple[str, int, float, float, float, int], ...] = (
+    ("fine-medium", 64, 16.0, 40.0, 0.05, 600),
+    ("fine-large", 128, 16.0, 30.0, 0.05, 1200),
+)
+
+
+def _assert_kernel_equivalence(fb, trials) -> None:
+    """In-bench correctness guard: the numbers only count if the kernels
+    agree — direct rows equal the naive reference on sampled DMs, and the
+    tree's effective shifts obey the documented tolerance law."""
+    freqs, f_ref, tsamp = fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s
+    sample = trials[:: max(1, trials.size // 4)][:4]
+    direct = dedisperse_grid(fb.data, freqs, f_ref, tsamp, sample,
+                             kernel=KernelConfig(method="direct", impl="numpy"))
+    for row, dm in zip(direct, sample):
+        ref = _reference_dedisperse(fb.data, freqs, f_ref, tsamp, float(dm))
+        assert np.max(np.abs(row - ref)) <= 1e-6, dm
+    eff = _tree_effective_shifts(freqs, f_ref, tsamp, trials)
+    exact = shift_table(freqs, f_ref, trials, tsamp)
+    n_sub = max(1, int(round(np.sqrt(freqs.size))))
+    levels, _, _ = _tree_plan(freqs, tsamp, np.unique(trials), n_sub, 1.0)
+    bound = tree_shift_bound(len(levels), 1.0)
+    assert np.max(np.abs(eff - exact)) <= bound, (np.max(np.abs(eff - exact)), bound)
+
+
+def bench_kernel_methods(scales=KERNEL_SCALES) -> list[dict]:
+    """Tree/subband × numpy/numba curves on fine DM grids, vs the naive
+    front end and the exact direct kernel.  Best-of-3 timing: the repo's CI
+    box is a single slow core, and one-shot timings there are noise."""
+    impls = ["numpy"] + (["numba"] if HAS_NUMBA else [])
+    records = []
+    for name, n_channels, duration_s, dm_lo, dm_step, n_dms in scales:
+        fb = _make_filterbank(n_channels, duration_s, 1e-3)
+        trials = dm_lo + dm_step * np.arange(n_dms)
+        _assert_kernel_equivalence(fb, trials)
+        t_naive = _timeit(lambda: _reference_single_pulse_search(fb, trials),
+                          repeats=1)
+        curves = []
+        t_direct_dedisp = None
+        for method in ("direct", "subband", "tree"):
+            for impl in impls:
+                kernel = KernelConfig(method=method, impl=impl)
+                t_dedisp = _timeit(
+                    lambda: dedisperse_grid(fb.data, fb.channel_freqs_mhz,
+                                            fb.f_high_mhz, fb.sample_time_s,
+                                            trials, kernel=kernel),
+                    repeats=3,
+                )
+                t_search = _timeit(
+                    lambda: single_pulse_search(fb, trials, kernel=kernel),
+                    repeats=3,
+                )
+                if method == "direct" and impl == "numpy":
+                    t_direct_dedisp = t_dedisp
+                curves.append({
+                    "method": method,
+                    "impl": impl,
+                    "dedisperse_s": round(t_dedisp, 4),
+                    "search_s": round(t_search, 4),
+                    "search_speedup_vs_naive": round(t_naive / t_search, 2),
+                    "dedisperse_speedup_vs_direct": round(
+                        t_direct_dedisp / t_dedisp, 2),
+                })
+        records.append({
+            "scale": name,
+            "n_channels": n_channels,
+            "n_samples": fb.n_samples,
+            "n_dms": n_dms,
+            "dm_step": dm_step,
+            "naive_search_s": round(t_naive, 4),
+            "numba_available": HAS_NUMBA,
+            "curves": curves,
+        })
+    return records
+
+
 def bench_dbscan() -> dict:
     rng = np.random.default_rng(11)
     n_blobs, n = 60, 20000
@@ -158,12 +249,14 @@ def bench_dbscan() -> dict:
 def run_all() -> dict:
     search = bench_single_pulse_search()
     dedisp = bench_dedispersion()
+    methods = bench_kernel_methods()
     dbscan = bench_dbscan()
     results = {
         "benchmark": "frontend_kernels",
         "generated_by": "benchmarks/bench_frontend_kernels.py",
         "single_pulse_search": search,
         "dedispersion": dedisp,
+        "kernel_methods": methods,
         "dbscan": dbscan,
     }
     RESULT_JSON.write_text(json.dumps(results, indent=2) + "\n")
@@ -179,12 +272,22 @@ def run_all() -> dict:
             for r in dedisp
         ]
         + [
+            [f'{c["method"]}/{c["impl"]}', r["scale"], r["naive_search_s"],
+             c["search_s"], f'{c["search_speedup_vs_naive"]}x']
+            for r in methods for c in r["curves"]
+        ]
+        + [
             ["dbscan", f'{dbscan["n_points"]} pts', dbscan["naive_s"],
              dbscan["vectorized_s"], f'{dbscan["speedup"]}x']
         ],
     )
     emit("BENCH_frontend_kernels", table + f"\n\nwritten: {RESULT_JSON}")
     return results
+
+
+def _curve(record: dict, method: str, impl: str = "numpy") -> dict:
+    return next(c for c in record["curves"]
+                if c["method"] == method and c["impl"] == impl)
 
 
 def test_frontend_kernel_speedup():
@@ -194,8 +297,39 @@ def test_frontend_kernel_speedup():
         r for r in results["single_pulse_search"] if r["scale"] == "headline"
     )
     assert headline["speedup"] >= 5.0, headline
+
+    # Kernel-method acceptance at the largest fine DM grid: the tree front
+    # end beats the naive reference ≥5× end to end, and tree dedispersion
+    # beats the exact direct kernel ≥2×.
+    large = next(r for r in results["kernel_methods"]
+                 if r["scale"] == "fine-large")
+    tree = _curve(large, "tree")
+    assert tree["search_speedup_vs_naive"] >= 5.0, tree
+    assert tree["dedisperse_speedup_vs_direct"] >= 2.0, tree
     assert RESULT_JSON.exists()
 
 
+def run_smoke() -> None:
+    """CI gate: in-bench equivalence (direct ≡ reference, tree within its
+    tolerance law) plus tree-vs-direct ≥ 2× on the fine-large grid — the
+    scale where the tree's log-depth reuse has enough DMs to amortize its
+    plan.  Does not rewrite the committed JSON."""
+    records = bench_kernel_methods(scales=KERNEL_SCALES[1:2])
+    record = records[0]
+    tree = _curve(record, "tree")
+    emit(
+        "BENCH_frontend_kernels (smoke)",
+        f"tree vs direct dedispersion at {record['scale']}: "
+        f"{tree['dedisperse_speedup_vs_direct']}x "
+        f"(search vs naive: {tree['search_speedup_vs_naive']}x)",
+    )
+    assert tree["dedisperse_speedup_vs_direct"] >= 2.0, tree
+
+
 if __name__ == "__main__":
-    run_all()
+    import sys
+
+    if "--smoke" in sys.argv:
+        run_smoke()
+    else:
+        run_all()

@@ -23,13 +23,20 @@ seed — the facade adds no behaviour, only a stable surface.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.survey import GBT350DRIFT, PALFA, Observation, SurveyConfig
 from repro.core.pipeline import PipelineResult, SinglePulsePipeline
-from repro.core.search import SearchParams
+from repro.core.search import FrontendParams, SearchParams
+from repro.execution import (
+    ExecutionConfig,
+    KernelConfig,
+    env_execution_config,
+    resolve_execution,
+)
 from repro.sparklet.pools import DEFAULT_POOL
 from repro.streaming.backpressure import PIDConfig
 from repro.streaming.engine import (
@@ -49,12 +56,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "AdmissionConfig",
+    "ExecutionConfig",
+    "FrontendParams",
+    "KernelConfig",
     "MemoConfig",
     "PipelineConfig",
     "ServingConfig",
     "ServingResult",
     "StreamingConfig",
     "TenantConfig",
+    "env_execution_config",
     "run_pipeline",
     "run_drapid",
     "run_serving",
@@ -92,6 +103,41 @@ def resolve_survey(survey: str | SurveyConfig) -> SurveyConfig:
         ) from None
 
 
+def _fold_legacy_execution(cfg) -> None:
+    """Fold deprecated loose ``backend``/``num_workers`` keywords into the
+    frozen ``execution`` record.
+
+    Warns ``DeprecationWarning`` whenever a loose keyword is used, then
+    normalizes the loose fields back to ``None`` — so two configs spelled
+    the old way and the new way compare (and hash) equal, and downstream
+    code only ever reads ``cfg.execution``.
+    """
+    if cfg.backend is None and cfg.num_workers is None:
+        return
+    warnings.warn(
+        f"{type(cfg).__name__}(backend=..., num_workers=...) is deprecated; "
+        "use execution=ExecutionConfig(backend=..., num_workers=...)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+    base = cfg.execution if cfg.execution is not None else ExecutionConfig()
+    if cfg.backend is not None:
+        if base.backend is not None and base.backend != cfg.backend:
+            raise ValueError(
+                "backend given both directly and via execution=; pick one"
+            )
+        base = dataclasses.replace(base, backend=cfg.backend)
+    if cfg.num_workers is not None:
+        if base.num_workers is not None and base.num_workers != cfg.num_workers:
+            raise ValueError(
+                "num_workers given both directly and via execution=; pick one"
+            )
+        base = dataclasses.replace(base, num_workers=cfg.num_workers)
+    object.__setattr__(cfg, "execution", base)
+    object.__setattr__(cfg, "backend", None)
+    object.__setattr__(cfg, "num_workers", None)
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Everything one pipeline run depends on, in one immutable record.
@@ -117,17 +163,28 @@ class PipelineConfig:
     fault_config: "FaultConfig | None" = None
     #: Observability: event log + spans + metrics for the whole run.
     obs_config: "ObsConfig | ObsSession | None" = None
-    #: Execution backend for stage 3 ("serial" | "simulated" | "parallel").
-    #: None defers to the REPRO_BACKEND environment default.  All backends
-    #: produce byte-identical output on the same seed.
+    #: Unified execution knobs: backend, workers, simulated I/O wait, and
+    #: front-end kernel selection (:class:`repro.execution.ExecutionConfig`
+    #: carrying a :class:`repro.execution.KernelConfig`).  Fields left None
+    #: defer to the ``REPRO_BACKEND`` / ``REPRO_WORKERS`` /
+    #: ``REPRO_KERNEL_METHOD`` / ``REPRO_KERNEL_IMPL`` environment defaults.
+    #: All backends and kernel impls produce byte-identical output on the
+    #: same seed (kernel *methods* agree within the documented tolerance
+    #: law).
+    execution: ExecutionConfig | None = None
+    #: Deprecated: use ``execution=ExecutionConfig(backend=...)``.  Folded
+    #: into ``execution`` (with a DeprecationWarning) at construction.
     backend: str | None = None
-    #: Worker processes for the parallel backend (None → REPRO_WORKERS).
+    #: Deprecated: use ``execution=ExecutionConfig(num_workers=...)``.
     num_workers: int | None = None
     #: Lineage-hash memoization + persistent candidate recording (see
     #: :class:`repro.memo.MemoConfig`).  None defers to the ``REPRO_MEMO``
     #: environment default; excluded from equality/digests — caching is an
     #: operational knob, not part of what the run computes.
     memo_config: "MemoConfig | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        _fold_legacy_execution(self)
 
 
 @dataclass(frozen=True)
@@ -178,8 +235,7 @@ def _pipeline_for(config: PipelineConfig) -> SinglePulsePipeline:
         seed=config.seed,
         fault_config=config.fault_config,
         obs_config=config.obs_config,
-        backend=config.backend,
-        num_workers=config.num_workers,
+        execution=config.execution,
         memo_config=config.memo_config,
     )
 
@@ -287,14 +343,18 @@ class ServingConfig:
     obs_config: "ObsConfig | ObsSession | None" = None
     #: Directory for per-tenant private JSONL event logs (None: shared only).
     tenant_trace_dir: str | None = None
-    #: Execution backend for the shared context ("serial" | "simulated" |
-    #: "parallel"); None defers to REPRO_BACKEND.
+    #: Execution knobs for the shared context (backend/workers/kernel);
+    #: fields left None defer to the ``REPRO_*`` environment defaults.
+    execution: ExecutionConfig | None = None
+    #: Deprecated: use ``execution=ExecutionConfig(backend=...)``.
     backend: str | None = None
+    #: Deprecated: use ``execution=ExecutionConfig(num_workers=...)``.
     num_workers: int | None = None
     #: DFS prefix under which each tenant gets an isolated namespace.
     serving_root: str = "/serving"
 
     def __post_init__(self) -> None:
+        _fold_legacy_execution(self)
         object.__setattr__(self, "tenants", tuple(self.tenants))
         ids = [t.tenant_id for t in self.tenants]
         if len(set(ids)) != len(ids):
@@ -376,9 +436,11 @@ def run_serving(config: ServingConfig) -> ServingResult:
     session = ObsSession.from_config(config.obs_config)
     dfs = DFSClient([DataNode(f"dn{i}") for i in range(4)], replication=2,
                     obs=session)
+    execution = resolve_execution(config.execution)
     ctx = SparkletContext(app_name="serving", default_parallelism=4,
-                          obs=session, backend=config.backend,
-                          num_workers=config.num_workers)
+                          obs=session, backend=execution.backend,
+                          num_workers=execution.num_workers,
+                          io_wait_s_per_mb=execution.io_wait_s_per_mb)
     cache = ModelCache()
     manager = SessionManager(admission=config.admission, obs=session)
     views: dict[str, "ObsSession"] = {}
@@ -522,9 +584,12 @@ def run_drapid(
     own_ctx = ctx is None
     memo = resolve_memo(config.memo_config, fault_config=config.fault_config)
     if ctx is None:
+        execution = resolve_execution(config.execution)
         ctx = SparkletContext(app_name="drapid", default_parallelism=4,
-                              obs=obs_session, backend=config.backend,
-                              num_workers=config.num_workers, memo=memo)
+                              obs=obs_session, backend=execution.backend,
+                              num_workers=execution.num_workers,
+                              io_wait_s_per_mb=execution.io_wait_s_per_mb,
+                              memo=memo)
     try:
         data_path, cluster_path = upload_observations(dfs, observations)
         grids = {survey.name: observations[0].grid}

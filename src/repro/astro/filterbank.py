@@ -26,7 +26,9 @@ asserts the two agree on where the pulse lives.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,10 +36,18 @@ from repro.astro.dispersion import K_DM
 from repro.astro.kernels import (
     _reference_dedisperse,
     dedisperse_batch,
+    dedisperse_grid,
     dedisperse_subband,
+    dedisperse_tree,
+    resolve_impl,
     single_pulse_block_search,
 )
-from repro.astro.spe import SPE
+from repro.astro.spe import SPE, spes_from_search
+from repro.execution import KernelConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.search import FrontendParams
+    from repro.obs.session import ObsSession
 
 
 @dataclass(frozen=True)
@@ -151,19 +161,27 @@ def dedisperse_all(
     trial_dms: np.ndarray,
     method: str = "batch",
     out_dtype: np.dtype | type = np.float64,
+    kernel: KernelConfig | None = None,
 ) -> np.ndarray:
     """The full (n_dms × n_samples) dedispersed block in one call.
 
-    ``method="batch"`` is exact (matches :func:`dedisperse` per row);
-    ``method="subband"`` reuses partial sums across neighbouring trial DMs
-    and is tolerance-bounded (≤ ~2 samples of shift error per channel) —
-    a large win on fine DM ladders.
+    ``method="batch"`` (alias ``"direct"``) is exact (matches
+    :func:`dedisperse` per row); ``method="subband"`` reuses partial sums
+    across neighbouring trial DMs and ``method="tree"`` applies that trick
+    recursively over a binary merge tree — both tolerance-bounded (see the
+    :mod:`repro.astro.kernels` tolerance law), large wins on fine DM
+    ladders.  A full :class:`repro.execution.KernelConfig` overrides
+    ``method`` and also selects the implementation layer (NumPy/numba).
     """
     args = (fb.data, fb.channel_freqs_mhz, fb.f_high_mhz, fb.sample_time_s, trial_dms)
-    if method == "batch":
+    if kernel is not None:
+        return dedisperse_grid(*args, kernel=kernel, out_dtype=out_dtype)
+    if method in ("batch", "direct"):
         return dedisperse_batch(*args, out_dtype=out_dtype)
     if method == "subband":
         return dedisperse_subband(*args, out_dtype=out_dtype)
+    if method == "tree":
+        return dedisperse_tree(*args, out_dtype=out_dtype)
     raise ValueError(f"unknown dedispersion method: {method!r}")
 
 
@@ -174,13 +192,16 @@ def single_pulse_search(
     boxcar_widths: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
     dtype: np.dtype | type = np.float32,
     dedispersion: str = "batch",
+    kernel: KernelConfig | None = None,
+    params: "FrontendParams | None" = None,
+    obs: "ObsSession | None" = None,
 ) -> list[SPE]:
     """PRESTO-style single pulse search over the whole trial-DM grid.
 
-    Vectorized front end: one batch dedispersion of the full grid, then an
-    O(n) cumulative-sum boxcar filter per series with median/MAD noise
-    estimated once per series, and a vectorized threshold + local-maxima
-    pass (:mod:`repro.astro.kernels`).
+    Vectorized front end: one dedispersion of the full grid, then an O(n)
+    boxcar filter per series with median/MAD noise estimated once per
+    series, and a vectorized threshold + local-maxima pass
+    (:mod:`repro.astro.kernels`).
 
     Sample convention: boxcar windows are **left-aligned** — each emitted
     SPE's ``sample`` (and ``time_s = sample × t_samp``) is the *first*
@@ -194,24 +215,42 @@ def single_pulse_search(
     float32 default halves memory traffic (PRESTO dedisperses in float32
     too) and perturbs SNRs only at the 1e-5 level; pass ``np.float64`` for
     bit-level agreement with the float64 kernels.
+
+    ``kernel`` (a :class:`repro.execution.KernelConfig`, resolved against
+    the environment) selects the dedispersion method, boxcar mode and
+    implementation layer; it supersedes the legacy ``dedispersion`` string.
+    ``params`` (:class:`repro.core.search.FrontendParams`) bundles
+    threshold + widths; explicit keyword arguments win.  ``obs`` records
+    per-stage ``kernel.dedisperse`` / ``kernel.boxcar`` spans.
     """
+    if params is not None:
+        snr_threshold = snr_threshold if snr_threshold != 5.0 else params.snr_threshold
+        if boxcar_widths == (1, 2, 4, 8, 16, 32):
+            boxcar_widths = params.boxcar_widths
     if snr_threshold <= 0:
         raise ValueError("snr_threshold must be positive")
     trial_dms = np.asarray(trial_dms, dtype=float)
-    block = dedisperse_all(fb, trial_dms, method=dedispersion, out_dtype=dtype)
-    rows, samples, snrs, widths = single_pulse_block_search(
-        block, snr_threshold, boxcar_widths
-    )
-    return [
-        SPE(
-            dm=float(trial_dms[d]),
-            snr=round(float(s), 3),
-            time_s=round(int(i) * fb.sample_time_s, 6),
-            sample=int(i),
-            downfact=int(w),
+    if kernel is None:
+        span = obs.tracer.span if obs is not None else (lambda *a, **k: nullcontext())
+        with span("kernel.dedisperse", method=dedispersion, impl="numpy"):
+            block = dedisperse_all(fb, trial_dms, method=dedispersion,
+                                   out_dtype=dtype)
+        with span("kernel.boxcar", boxcar="cumsum"):
+            rows, samples, snrs, widths = single_pulse_block_search(
+                block, snr_threshold, boxcar_widths
+            )
+        return spes_from_search(trial_dms, fb.sample_time_s, rows, samples,
+                                snrs, widths)
+    k = kernel.resolved()
+    impl = resolve_impl(k.impl)
+    span = obs.tracer.span if obs is not None else (lambda *a, **k_: nullcontext())
+    with span("kernel.dedisperse", method=k.method, impl=impl):
+        block = dedisperse_all(fb, trial_dms, out_dtype=dtype, kernel=k)
+    with span("kernel.boxcar", boxcar=k.boxcar, impl=impl):
+        rows, samples, snrs, widths = single_pulse_block_search(
+            block, snr_threshold, boxcar_widths, boxcar=k.boxcar, impl=impl
         )
-        for d, i, s, w in zip(rows, samples, snrs, widths)
-    ]
+    return spes_from_search(trial_dms, fb.sample_time_s, rows, samples, snrs, widths)
 
 
 def _reference_single_pulse_search(

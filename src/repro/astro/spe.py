@@ -65,6 +65,32 @@ class SPE:
         )
 
 
+def spes_from_search(
+    trial_dms: np.ndarray,
+    sample_time_s: float,
+    rows: np.ndarray,
+    samples: np.ndarray,
+    snrs: np.ndarray,
+    widths: np.ndarray,
+) -> list["SPE"]:
+    """Materialize detections from a block search into SPE records.
+
+    The one place the search arrays become SPEs, shared by every kernel
+    method — the rounding conventions (SNR to 3 decimals, time to 6) are
+    part of the on-disk format and must not drift between code paths.
+    """
+    return [
+        SPE(
+            dm=float(trial_dms[d]),
+            snr=round(float(s), 3),
+            time_s=round(int(i) * sample_time_s, 6),
+            sample=int(i),
+            downfact=int(w),
+        )
+        for d, i, s, w in zip(rows, samples, snrs, widths)
+    ]
+
+
 class SPEBlock:
     """A set of SPEs for one observation, with vectorized column views."""
 

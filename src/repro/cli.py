@@ -34,6 +34,40 @@ def _survey(name: str):
     return {"GBT350Drift": GBT350DRIFT, "PALFA": PALFA}[name]
 
 
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    """The shared execution knobs (backend/workers/kernel selection).
+
+    Resolution order is environment < config < CLI: a flag left unset keeps
+    the matching :class:`~repro.execution.ExecutionConfig` field ``None``,
+    which defers to the ``REPRO_*`` environment defaults.
+    """
+    p.add_argument("--backend", choices=["serial", "simulated", "parallel"],
+                   default=None,
+                   help="execution backend (default: REPRO_BACKEND or serial)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for --backend parallel")
+    p.add_argument("--kernel-method", choices=["direct", "subband", "tree"],
+                   default=None,
+                   help="dedispersion method for the front-end kernels "
+                        "(default: REPRO_KERNEL_METHOD or direct)")
+    p.add_argument("--kernel-impl", choices=["numpy", "numba", "auto"],
+                   default=None,
+                   help="kernel implementation layer (default: "
+                        "REPRO_KERNEL_IMPL or auto; numba falls back to "
+                        "numpy when unavailable)")
+
+
+def _execution_config(args: argparse.Namespace):
+    """Build the run's ExecutionConfig from the parsed execution flags."""
+    from repro.execution import ExecutionConfig, KernelConfig
+
+    return ExecutionConfig(
+        backend=args.backend,
+        num_workers=args.workers,
+        kernel=KernelConfig(method=args.kernel_method, impl=args.kernel_impl),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,11 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--observations", type=int, default=3)
     ident.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="2")
     ident.add_argument("--seed", type=int, default=0)
-    ident.add_argument("--backend", choices=["serial", "simulated", "parallel"],
-                       default=None,
-                       help="execution backend (default: REPRO_BACKEND or serial)")
-    ident.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="worker processes for --backend parallel")
+    _add_execution_args(ident)
     ident.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write an observability event log (JSONL) here")
     ident.add_argument("--memo-dir", default=None, metavar="PATH",
@@ -81,11 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="inject a driver crash after this batch and recover")
     stream.add_argument("--model", default=None, metavar="PATH",
                         help="saved classifier for in-stream scoring")
-    stream.add_argument("--backend", choices=["serial", "simulated", "parallel"],
-                        default=None,
-                        help="execution backend (default: REPRO_BACKEND or serial)")
-    stream.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="worker processes for --backend parallel")
+    _add_execution_args(stream)
     stream.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write an observability event log (JSONL) here")
 
@@ -114,11 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", default=None, metavar="PATH",
                        help="saved classifier, hot-loaded into the shared "
                             "model cache for in-stream scoring")
-    serve.add_argument("--backend", choices=["serial", "simulated", "parallel"],
-                       default=None,
-                       help="execution backend (default: REPRO_BACKEND or serial)")
-    serve.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="worker processes for --backend parallel")
+    _add_execution_args(serve)
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the shared observability event log here")
     serve.add_argument("--tenant-trace-dir", default=None, metavar="DIR",
@@ -233,7 +255,7 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         survey=args.survey, scheme=args.scheme, seed=args.seed,
         n_pulsars=args.pulsars, n_observations=args.observations,
         classify=False, obs_config=session,
-        backend=args.backend, num_workers=args.workers,
+        execution=_execution_config(args),
         memo_config=memo_config,
     )
     result = run_pipeline(config)
@@ -259,7 +281,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         pipeline=PipelineConfig(
             survey=args.survey, seed=args.seed, n_pulsars=args.pulsars,
             n_observations=args.observations, obs_config=session,
-            backend=args.backend, num_workers=args.workers,
+            execution=_execution_config(args),
         ),
         batch_interval_s=args.batch_interval,
         arrival_rate=args.arrival_rate,
@@ -314,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     survey=args.survey, seed=args.seed + i,
                     n_pulsars=args.pulsars,
                     n_observations=args.observations,
+                    execution=_execution_config(args),
                 ),
                 batch_interval_s=args.batch_interval,
                 arrival_rate=args.arrival_rate,
@@ -329,7 +352,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                   capacity_rows_per_s=args.capacity),
         obs_config=session,
         tenant_trace_dir=args.tenant_trace_dir,
-        backend=args.backend, num_workers=args.workers,
+        execution=_execution_config(args),
     )
     result = run_serving(config)
     if session is not None:

@@ -12,7 +12,7 @@ detection; stage 1 here generates exactly that intermediate product.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -25,7 +25,9 @@ from repro.core.rapid import SinglePulse
 from repro.core.search import SearchParams
 from repro.dataplane import PulseBatch
 from repro.dfs import DataNode, DFSClient
+from repro.execution import ExecutionConfig, resolve_execution
 from repro.io.spe_files import read_ml_batch, upload_observations
+from repro.obs.events import KERNEL_SELECTED
 from repro.obs.session import ObsSession
 from repro.sparklet.context import SparkletContext
 
@@ -75,11 +77,15 @@ class SinglePulsePipeline:
     #: Observability: an ObsConfig (or a shared ObsSession) wires one event
     #: log + span tree + registry through every layer the run touches.
     obs_config: "ObsConfig | ObsSession | None" = None
-    #: Execution backend for stage 3 ("serial" | "simulated" | "parallel";
-    #: None → REPRO_BACKEND environment default).  Output is byte-identical
-    #: across backends on the same seed.
+    #: Unified execution knobs: backend + workers + front-end kernel
+    #: selection (:class:`repro.execution.ExecutionConfig`).  None → the
+    #: ``REPRO_*`` environment defaults.  Output is byte-identical across
+    #: backends on the same seed.
+    execution: ExecutionConfig | None = None
+    #: Deprecated — fold into ``execution=ExecutionConfig(backend=...)``.
+    #: Still honoured (wins over ``execution`` fields left as None).
     backend: str | None = None
-    #: Worker processes for the parallel backend (None → REPRO_WORKERS).
+    #: Deprecated — fold into ``execution=ExecutionConfig(num_workers=...)``.
     num_workers: int | None = None
     #: Lineage-hash memoization + candidate recording for stage 3 (None →
     #: the REPRO_MEMO environment default; see :mod:`repro.memo.config`).
@@ -93,6 +99,17 @@ class SinglePulsePipeline:
         if isinstance(self.scheme, str):
             self.scheme = ALM_SCHEMES[self.scheme]
         self._obs = ObsSession.from_config(self.obs_config)
+        # Fold the deprecated loose knobs into one resolved ExecutionConfig
+        # (explicit > environment > defaults).  The api facade already warns
+        # on the loose keywords; here they are honoured silently so old
+        # direct constructions keep working.
+        base = self.execution if self.execution is not None else ExecutionConfig()
+        if self.backend is not None and base.backend is None:
+            base = replace(base, backend=self.backend)
+        if self.num_workers is not None and base.num_workers is None:
+            base = replace(base, num_workers=self.num_workers)
+        self._execution = resolve_execution(base)
+        self._emit_kernel_selected()
         if not self._api_construction:
             warnings.warn(
                 "Constructing SinglePulsePipeline directly is deprecated; "
@@ -106,6 +123,28 @@ class SinglePulsePipeline:
     def from_config(cls, **kwargs) -> "SinglePulsePipeline":
         """Blessed constructor used by :mod:`repro.api` (no deprecation)."""
         return cls(_api_construction=True, **kwargs)
+
+    def _emit_kernel_selected(self, source: str = "pipeline") -> None:
+        """Record which front-end kernel this run resolved to.
+
+        Emitted once at construction so every consumer of the pipeline —
+        batch, streaming and serving alike — leaves a ``kernel_selected``
+        event in the log; the trace report surfaces it, including any
+        numba → numpy fallback (``impl`` != ``impl_requested``).
+        """
+        if not self._obs.enabled:
+            return
+        from repro.astro.kernels import resolve_impl
+
+        k = self._execution.kernel
+        self._obs.emit(
+            KERNEL_SELECTED,
+            method=k.method,
+            impl_requested=k.impl,
+            impl=resolve_impl(k.impl),
+            boxcar=k.boxcar,
+            source=source,
+        )
 
     # -- stage 1+2 ---------------------------------------------------------
     def generate(self, pulsars: list[Pulsar], n_observations: int = 4,
@@ -144,8 +183,10 @@ class SinglePulsePipeline:
         memo = resolve_memo(self.memo_config, fault_config=self.fault_config)
         if ctx is None:
             ctx = SparkletContext(app_name="drapid", default_parallelism=4,
-                                  obs=self._obs, backend=self.backend,
-                                  num_workers=self.num_workers, memo=memo)
+                                  obs=self._obs, backend=self._execution.backend,
+                                  num_workers=self._execution.num_workers,
+                                  io_wait_s_per_mb=self._execution.io_wait_s_per_mb,
+                                  memo=memo)
         try:
             data_path, cluster_path = upload_observations(dfs, observations)
             grids = {self.survey.name: observations[0].grid} if observations else {}
@@ -182,6 +223,9 @@ class SinglePulsePipeline:
             "grid_coarsen": self.grid_coarsen,
             "num_partitions": self.num_partitions,
             "seed": self.seed,
+            # Kernel selection is semantic provenance: different methods can
+            # differ within the tolerance law, so the lineage hash must see it.
+            "kernel": self._execution.kernel,
         }
 
     # -- stage 4 -----------------------------------------------------------

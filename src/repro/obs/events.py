@@ -43,6 +43,9 @@ SHM_SEGMENT_RELEASED = "shm_segment_released"
 SPAN_START = "span_start"
 SPAN_END = "span_end"
 
+# Front-end kernel selection (repro.execution.KernelConfig resolution).
+KERNEL_SELECTED = "kernel_selected"
+
 # Memoization subsystem (repro.memo).
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"

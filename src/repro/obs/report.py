@@ -24,6 +24,7 @@ from repro.obs.events import (
     FAULT_INJECTED,
     JOB_END,
     JOB_START,
+    KERNEL_SELECTED,
     SHM_SEGMENT_CREATED,
     SHM_SEGMENT_RELEASED,
     SIM_STAGE,
@@ -264,6 +265,40 @@ def build_report(
         if e["type"] == SIM_STAGE
     ]
 
+    # -- front-end kernels -------------------------------------------------
+    # Which kernels the run resolved to (kernel_selected events) and how
+    # long each kernel stage actually took ("kernel.*" spans, aggregated).
+    kernel_selected = [
+        {
+            k: e[k]
+            for k in ("method", "impl", "impl_requested", "boxcar", "source")
+            if k in e
+        }
+        for e in events
+        if e["type"] == KERNEL_SELECTED
+    ]
+    span_names = {
+        e["span_id"]: e["name"] for e in events if e["type"] == SPAN_START
+    }
+    kernel_stage_totals: dict[str, dict[str, Any]] = {}
+    for e in events:
+        if e["type"] != SPAN_END:
+            continue
+        name = str(e.get("name") or span_names.get(e.get("span_id"), ""))
+        if not name.startswith("kernel."):
+            continue
+        st = kernel_stage_totals.setdefault(
+            name, {"stage": name, "count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        st["count"] += 1
+        dur = float(e.get("duration_s", 0.0))
+        st["total_s"] += dur
+        st["max_s"] = max(st["max_s"], dur)
+    kernels = {
+        "selected": kernel_selected,
+        "stages": sorted(kernel_stage_totals.values(), key=lambda r: r["stage"]),
+    }
+
     return {
         "summary": {
             "tenant": tenant,
@@ -294,6 +329,7 @@ def build_report(
         "pools": _pool_summaries(events),
         "spans": spans,
         "sim_stages": sim_stages,
+        "kernels": kernels,
     }
 
 
@@ -398,6 +434,30 @@ def render_text(report: dict[str, Any]) -> str:
                  for r in report["pools"]],
             )
         )
+
+    kernels = report.get("kernels", {})
+    if kernels.get("selected") or kernels.get("stages"):
+        out.append("\n== front-end kernels ==")
+        for sel in kernels.get("selected", []):
+            requested = sel.get("impl_requested")
+            impl = sel.get("impl", "?")
+            impl_txt = (
+                f"{impl} (requested {requested})"
+                if requested and requested != impl
+                else impl
+            )
+            out.append(
+                f"  selected: method={sel.get('method', '?')}  impl={impl_txt}  "
+                f"boxcar={sel.get('boxcar', '?')}  source={sel.get('source', '-')}"
+            )
+        if kernels.get("stages"):
+            out.append(
+                _table(
+                    ["stage", "count", "total s", "max s"],
+                    [[r["stage"], r["count"], r["total_s"], r["max_s"]]
+                     for r in kernels["stages"]],
+                )
+            )
 
     if report["spans"]:
         out.append("\n== span tree ==")

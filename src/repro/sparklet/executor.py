@@ -51,6 +51,9 @@ from typing import Any, Callable, Iterator
 
 import cloudpickle
 
+#: ``BACKENDS`` and the REPRO_* env vars live in :mod:`repro.execution`,
+#: the one place the unified execution surface is defined and resolved.
+from repro.execution import BACKENDS
 from repro.obs import events as obs_events
 from repro.obs.session import NULL_OBS
 from repro.sparklet import shm as shm_mod
@@ -78,13 +81,6 @@ __all__ = [
     "shutdown_pool",
 ]
 
-BACKENDS = ("serial", "simulated", "parallel")
-
-#: Environment defaults, honored by SparkletContext when the caller does not
-#: pick a backend explicitly — how CI runs the whole tier-1 suite parallel.
-BACKEND_ENV = "REPRO_BACKEND"
-WORKERS_ENV = "REPRO_WORKERS"
-
 _IN_WORKER = False
 _WORKER_ACCS: dict[Any, Any] | None = None
 
@@ -105,15 +101,18 @@ def worker_accumulator_registry() -> dict[Any, Any] | None:
 
 
 def default_backend_name() -> str:
-    return os.environ.get(BACKEND_ENV, "").strip() or "serial"
+    from repro.execution import DEFAULT_BACKEND, env_execution_config
+
+    return env_execution_config().backend or DEFAULT_BACKEND
 
 
 def default_num_workers() -> int:
-    raw = os.environ.get(WORKERS_ENV, "").strip()
+    from repro.execution import DEFAULT_NUM_WORKERS, env_execution_config
+
     try:
-        return max(1, int(raw)) if raw else 2
+        return env_execution_config().num_workers or DEFAULT_NUM_WORKERS
     except ValueError:
-        return 2
+        return DEFAULT_NUM_WORKERS
 
 
 # ---------------------------------------------------------------------------

@@ -552,6 +552,7 @@ def stream_observations(
     back from the DFS (driver memory is never trusted across a crash).
     """
     from repro.dfs import DataNode, DFSClient
+    from repro.execution import resolve_execution
     from repro.io.spe_files import read_ml_batch
     from repro.memo.config import resolve_memo
     from repro.sparklet.context import SparkletContext
@@ -563,10 +564,14 @@ def stream_observations(
     own_ctx = ctx is None
     memo = resolve_memo(config.pipeline.memo_config,
                         fault_config=config.pipeline.fault_config)
+    execution = resolve_execution(
+        getattr(config.pipeline, "execution", None)
+    )
     if ctx is None:
         ctx = SparkletContext(app_name="streaming", default_parallelism=4,
-                              obs=session, backend=config.pipeline.backend,
-                              num_workers=config.pipeline.num_workers,
+                              obs=session, backend=execution.backend,
+                              num_workers=execution.num_workers,
+                              io_wait_s_per_mb=execution.io_wait_s_per_mb,
                               memo=memo)
     if model is not None:
         scorer = StreamScorer(model)
@@ -623,6 +628,7 @@ def stream_observations(
                 "seed": pipe.seed,
                 "batch_interval_s": config.batch_interval_s,
                 "arrival_rate": config.arrival_rate,
+                "kernel": execution.kernel,
             },
             survey=(observations[0].config.name if observations else None),
             seed=pipe.seed,
