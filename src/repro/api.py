@@ -56,6 +56,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "AdmissionConfig",
+    "CampaignConfig",
+    "CampaignResult",
     "ExecutionConfig",
     "FrontendParams",
     "KernelConfig",
@@ -66,6 +68,7 @@ __all__ = [
     "StreamingConfig",
     "TenantConfig",
     "env_execution_config",
+    "run_campaign",
     "run_pipeline",
     "run_drapid",
     "run_serving",
@@ -75,32 +78,30 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # MemoConfig is re-exported lazily so `from repro.api import MemoConfig`
-    # works without repro.api importing repro.memo at module load.
+    # Heavyweight subsystems are re-exported lazily so `from repro.api
+    # import MemoConfig` (or the campaign types) works without repro.api
+    # importing them at module load.
     if name == "MemoConfig":
         from repro.memo.config import MemoConfig
 
         return MemoConfig
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name in ("CampaignConfig", "CampaignResult"):
+        from repro.campaign import runner as _campaign_runner
 
-#: Survey presets addressable by name in :class:`PipelineConfig`.
-_SURVEYS: dict[str, SurveyConfig] = {
-    "GBT350Drift": GBT350DRIFT,
-    "PALFA": PALFA,
-}
+        return getattr(_campaign_runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_survey(survey: str | SurveyConfig) -> SurveyConfig:
-    """Map a survey name (``"GBT350Drift"``, ``"PALFA"``) to its config."""
+    """Map a survey preset name (case-insensitive, common aliases accepted:
+    ``"GBT350Drift"``, ``"PALFA"``, ``"CHIME"``, ``"FAST-CRAFTS"``, ...) to
+    its config via the :meth:`SurveyConfig.presets` registry."""
     if isinstance(survey, SurveyConfig):
         return survey
     try:
-        return _SURVEYS[survey]
-    except KeyError:
-        raise ValueError(
-            f"unknown survey {survey!r}; expected one of {sorted(_SURVEYS)} "
-            "or a SurveyConfig"
-        ) from None
+        return SurveyConfig.preset(survey)
+    except KeyError as exc:
+        raise ValueError(str(exc).strip('"')) from None
 
 
 def _fold_legacy_execution(cfg) -> None:
@@ -549,6 +550,20 @@ def run_serving(config: ServingConfig) -> ServingResult:
         for view in views.values():
             view.close()
         ctx.close()
+
+
+def run_campaign(config):
+    """Run a long simulated observing campaign (drift + online retraining).
+
+    Thin facade over :func:`repro.campaign.runner.run_campaign` — takes a
+    :class:`repro.campaign.runner.CampaignConfig` (also importable as
+    ``repro.api.CampaignConfig``), returns its ``CampaignResult`` with the
+    byte-deterministic campaign report.  Imported lazily so ``repro.api``
+    does not pull the campaign subsystem in at module load.
+    """
+    from repro.campaign.runner import run_campaign as _run_campaign
+
+    return _run_campaign(config)
 
 
 def run_drapid(

@@ -29,9 +29,16 @@ from repro.astro.dispersion import (
 )
 from repro.astro.population import Pulsar, synthesize_population
 from repro.astro.pulses import generate_pulsar_spes
-from repro.astro.rfi import generate_noise_spes, generate_rfi_spes
+from repro.astro.rfi import (
+    RFIStormModel,
+    generate_noise_spes,
+    generate_rfi_spes,
+    generate_storm_rfi_spes,
+)
 from repro.astro.spe import SPE, ObservationKey, SPEBlock
 from repro.astro.survey import (
+    CHIME,
+    FAST_CRAFTS,
     GBT350DRIFT,
     PALFA,
     Observation,
@@ -40,13 +47,16 @@ from repro.astro.survey import (
 )
 
 __all__ = [
+    "CHIME",
     "Cluster",
     "DMGrid",
+    "FAST_CRAFTS",
     "GBT350DRIFT",
     "Observation",
     "ObservationKey",
     "PALFA",
     "Pulsar",
+    "RFIStormModel",
     "SPE",
     "SPEBlock",
     "SinglePulseDBSCAN",
@@ -57,6 +67,7 @@ __all__ = [
     "generate_observation",
     "generate_pulsar_spes",
     "generate_rfi_spes",
+    "generate_storm_rfi_spes",
     "smearing_snr_factor",
     "synthesize_population",
 ]

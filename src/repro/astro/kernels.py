@@ -422,6 +422,18 @@ def _tree_plan(
     return levels, ladders, groups
 
 
+def _tree_cost(levels: list, ladders: dict) -> int:
+    """Total slice-adds the tree plan would execute (leaf fills + merges)."""
+    cost = sum(
+        ladders[(0, j)].size * (hi - lo) for j, (lo, hi) in enumerate(levels[0])
+    )
+    for level in range(1, len(levels)):
+        for j in range(len(levels[level])):
+            fan_in = sum(1 for c in (2 * j, 2 * j + 1) if c < len(levels[level - 1]))
+            cost += ladders[(level, j)].size * fan_in
+    return cost
+
+
 def tree_shift_bound(n_levels: int, tol_samples: float) -> float:
     """Worst-case |effective − exact| shift (samples) on the tree path.
 
@@ -485,14 +497,7 @@ def dedisperse_tree(
         freqs_mhz, sample_time_s, sorted_dms, n_subbands, tol_samples
     )
     top = len(levels) - 1
-    tree_cost = sum(
-        ladders[(0, j)].size * (hi - lo) for j, (lo, hi) in enumerate(levels[0])
-    )
-    for level in range(1, top + 1):
-        for j in range(len(levels[level])):
-            fan_in = sum(1 for c in (2 * j, 2 * j + 1) if c < len(levels[level - 1]))
-            tree_cost += ladders[(level, j)].size * fan_in
-    if tree_cost >= sorted_dms.size * n_chan:
+    if _tree_cost(levels, ladders) >= sorted_dms.size * n_chan:
         # The ladders refused to coarsen: the tree would cost more than the
         # exact path, so run the exact path.
         return dedisperse_batch(
@@ -610,10 +615,17 @@ def _tree_effective_shifts(
     if n_subbands is None:
         n_subbands = max(1, int(round(np.sqrt(n_chan))))
     n_subbands = min(n_subbands, n_chan)
+    ascending = n_chan > 1 and bool(np.all(np.diff(freqs_mhz) > 0))
     sorted_dms, inverse = np.unique(trial_dms, return_inverse=True)
+    if not ascending or n_subbands < 2 or sorted_dms.size < 2:
+        return shift_table(freqs_mhz, f_ref_mhz, trial_dms, sample_time_s)
     levels, ladders, groups = _tree_plan(
         freqs_mhz, sample_time_s, sorted_dms, n_subbands, tol_samples
     )
+    if _tree_cost(levels, ladders) >= sorted_dms.size * n_chan:
+        # Mirror dedisperse_tree's cost gate: on the exact fallback path the
+        # effective shifts ARE the exact shifts.
+        return shift_table(freqs_mhz, f_ref_mhz, trial_dms, sample_time_s)
     top = len(levels) - 1
     eff = np.zeros((sorted_dms.size, n_chan), dtype=np.int64)
     final = shift_table(np.array([float(freqs_mhz[-1])]), f_ref_mhz, sorted_dms,

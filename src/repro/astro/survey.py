@@ -14,7 +14,7 @@ customized DBSCAN, and each cluster's ground-truth class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -22,7 +22,13 @@ from repro.astro.clustering import Cluster, SinglePulseDBSCAN
 from repro.astro.dispersion import DMGrid
 from repro.astro.population import Pulsar
 from repro.astro.pulses import PulseTruth, generate_pulsar_spes
-from repro.astro.rfi import generate_noise_spes, generate_pulse_mimic_spes, generate_rfi_spes
+from repro.astro.rfi import (
+    RFIStormModel,
+    generate_noise_spes,
+    generate_pulse_mimic_spes,
+    generate_rfi_spes,
+    generate_storm_rfi_spes,
+)
 from repro.astro.spe import SPE, ObservationKey, SPEBlock
 from repro.dataplane import SPEBatch
 
@@ -42,6 +48,22 @@ class SurveyConfig:
 
     def dm_grid(self, coarsen: float = 1.0) -> DMGrid:
         return DMGrid(max_dm=self.max_dm, coarsen=coarsen)
+
+    @classmethod
+    def presets(cls) -> dict[str, "SurveyConfig"]:
+        """Registry of built-in survey presets keyed by canonical name."""
+        return dict(_PRESETS)
+
+    @classmethod
+    def preset(cls, name: str) -> "SurveyConfig":
+        """Case-insensitive preset lookup accepting common aliases."""
+        key = _ALIASES.get(name.lower())
+        if key is None:
+            known = sorted(_PRESETS) + sorted(
+                a for a, k in _ALIASES.items() if a != k.lower()
+            )
+            raise KeyError(f"unknown survey {name!r}; expected one of {known}")
+        return _PRESETS[key]
 
 
 GBT350DRIFT = SurveyConfig(
@@ -63,6 +85,44 @@ PALFA = SurveyConfig(
     obs_length_s=268.0,
     max_dm=1000.0,
 )
+
+CHIME = SurveyConfig(
+    name="CHIME",
+    center_freq_mhz=600.0,
+    bandwidth_mhz=400.0,
+    sample_time_s=9.8304e-4,
+    n_beams=4,
+    obs_length_s=120.0,
+    max_dm=2000.0,
+)
+
+FAST_CRAFTS = SurveyConfig(
+    name="FAST-CRAFTS",
+    center_freq_mhz=1250.0,
+    bandwidth_mhz=400.0,
+    sample_time_s=4.9152e-5,
+    n_beams=19,
+    obs_length_s=300.0,
+    max_dm=1000.0,
+)
+
+_PRESETS: dict[str, SurveyConfig] = {
+    "GBT350Drift": GBT350DRIFT,
+    "PALFA": PALFA,
+    "CHIME": CHIME,
+    "FAST-CRAFTS": FAST_CRAFTS,
+}
+
+_ALIASES: dict[str, str] = {
+    "gbt350drift": "GBT350Drift",
+    "gbt350": "GBT350Drift",
+    "gbt": "GBT350Drift",
+    "palfa": "PALFA",
+    "chime": "CHIME",
+    "fast-crafts": "FAST-CRAFTS",
+    "fast": "FAST-CRAFTS",
+    "crafts": "FAST-CRAFTS",
+}
 
 
 @dataclass
@@ -164,12 +224,22 @@ def generate_observation(
     grid_coarsen: float = 10.0,
     seed: int = 0,
     obs_length_s: float | None = None,
+    gain: float = 1.0,
+    storm: RFIStormModel | None = None,
 ) -> Observation:
     """Generate one fully labeled observation.
 
     Each in-beam pulsar contributes dispersed pulse clusters; noise and RFI
     contribute negatives.  Cluster ground truth is derived by majority vote
     of the generating mechanism of the cluster's SPEs.
+
+    ``gain`` scales the SNR of astrophysical (pulsar) events — a sensitivity
+    or calibration step; events falling below the survey threshold are lost.
+    ``storm`` overlays a time-correlated :class:`RFIStormModel`: extra
+    broadband bursts arrive in storm seasons and every co-temporal non-storm
+    event has its SNR suppressed by the inflated noise floor.  The default
+    arguments leave the classic draw sequence untouched, so output is
+    byte-identical to older call signatures.
     """
     rng = np.random.default_rng(seed)
     grid = config.dm_grid(coarsen=grid_coarsen)
@@ -212,6 +282,41 @@ def generate_observation(
     )
     spes.extend(mimics)
     origins.extend([(None, False)] * len(mimics))
+
+    # Regime modifiers.  All extra rng draws happen after the classic ones,
+    # so the default path (gain=1, storm=None) is byte-identical.
+    storm_windows: list[tuple[float, float]] = []
+    storm_spes: list[SPE] = []
+    if storm is not None:
+        storm_spes, storm_windows = generate_storm_rfi_spes(
+            storm, obs_len, grid, config.sample_time_s, config.snr_threshold, rng
+        )
+    if gain != 1.0 or storm_windows:
+        kept: list[SPE] = []
+        kept_origins: list[tuple[str | None, bool]] = []
+        remap: dict[int, int] = {}
+        for i, (spe, origin) in enumerate(zip(spes, origins)):
+            snr = spe.snr
+            if origin[0] is not None:
+                snr *= gain
+            if storm is not None and storm.in_window(spe.time_s, storm_windows):
+                snr *= storm.snr_suppression
+            if snr < config.snr_threshold:
+                continue
+            remap[i] = len(kept)
+            if snr != spe.snr:
+                spe = replace(spe, snr=round(snr, 3))
+            kept.append(spe)
+            kept_origins.append(origin)
+        spes, origins = kept, kept_origins
+        truths = [
+            replace(t, spe_indices=tuple(
+                remap[i] for i in t.spe_indices if i in remap
+            ))
+            for t in truths
+        ]
+    spes.extend(storm_spes)
+    origins.extend([(None, False)] * len(storm_spes))
 
     key = ObservationKey(
         dataset=config.name,

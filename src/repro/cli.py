@@ -6,6 +6,7 @@ Subcommands mirror the pipeline stages a survey scientist would run:
 - ``identify``     — run the full D-RAPID identification pipeline
 - ``stream``       — replay the workload through the micro-batch engine
 - ``serve``        — run N tenant streams on one fair-share serving driver
+- ``campaign``     — simulate a long observing campaign with drift + retraining
 - ``classify``     — build a labeled benchmark and cross-validate a learner
 - ``simulate``     — replay an identification job on a configurable cluster
 - ``trace-report`` — summarize an observability event log (``--trace-out``)
@@ -25,13 +26,24 @@ from typing import Sequence
 
 import numpy as np
 
-SURVEYS = ("GBT350Drift", "PALFA")
+SURVEYS = ("GBT350Drift", "PALFA", "CHIME", "FAST-CRAFTS")
 
 
 def _survey(name: str):
-    from repro.astro import GBT350DRIFT, PALFA
+    from repro.astro import SurveyConfig
 
-    return {"GBT350Drift": GBT350DRIFT, "PALFA": PALFA}[name]
+    return SurveyConfig.preset(name)
+
+
+def _survey_name(value: str) -> str:
+    """argparse type: accept any preset name or alias (``chime``, ``fast``,
+    ...), normalize to the canonical survey name."""
+    from repro.astro import SurveyConfig
+
+    try:
+        return SurveyConfig.preset(value).name
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(str(exc).strip('"')) from None
 
 
 def _add_execution_args(p: argparse.ArgumentParser) -> None:
@@ -76,13 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesize a survey")
-    gen.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    gen.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="GBT350Drift")
     gen.add_argument("--pulsars", type=int, default=8)
     gen.add_argument("--observations", type=int, default=4)
     gen.add_argument("--seed", type=int, default=0)
 
     ident = sub.add_parser("identify", help="run the D-RAPID pipeline")
-    ident.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    ident.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="GBT350Drift")
     ident.add_argument("--pulsars", type=int, default=6)
     ident.add_argument("--observations", type=int, default=3)
     ident.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="2")
@@ -95,7 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "recording, persisted under this directory")
 
     stream = sub.add_parser("stream", help="run the micro-batch streaming engine")
-    stream.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    stream.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="GBT350Drift")
     stream.add_argument("--pulsars", type=int, default=6)
     stream.add_argument("--observations", type=int, default=3)
     stream.add_argument("--seed", type=int, default=0)
@@ -117,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run N tenant streams on one fair-share serving driver")
-    serve.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    serve.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="GBT350Drift")
     serve.add_argument("--tenants", type=int, default=2, metavar="N",
                        help="number of tenant streams (tenant-0 … tenant-N-1)")
     serve.add_argument("--pulsars", type=int, default=4)
@@ -146,8 +158,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tenant-trace-dir", default=None, metavar="DIR",
                        help="also write one private JSONL log per tenant here")
 
+    camp = sub.add_parser(
+        "campaign",
+        help="drive the serving tier through a simulated observing campaign "
+             "with drift detection and online retraining")
+    camp.add_argument("--scenario", default="three-phase", metavar="NAME",
+                      help="built-in scenario name (see repro.campaign."
+                           "scenario_names); default: three-phase")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--no-retrain", action="store_true",
+                      help="ablation: detect drift but never retrain/swap")
+    _add_execution_args(camp)
+    camp.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write the shared observability event log here")
+    camp.add_argument("--report-out", default=None, metavar="PATH",
+                      help="write the canonical JSON campaign report here")
+    camp.add_argument("--json", action="store_true",
+                      help="print the campaign report as JSON")
+
     cls = sub.add_parser("classify", help="benchmark a learner")
-    cls.add_argument("--survey", choices=SURVEYS, default="GBT350Drift")
+    cls.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="GBT350Drift")
     cls.add_argument("--learner", choices=["MPN", "SMO", "JRip", "J48", "PART", "RF"],
                      default="RF")
     cls.add_argument("--scheme", choices=["2", "4*", "4", "7", "8"], default="7")
@@ -160,7 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cls.add_argument("--seed", type=int, default=0)
 
     sim = sub.add_parser("simulate", help="replay an identification job on a cluster")
-    sim.add_argument("--survey", choices=SURVEYS, default="PALFA")
+    sim.add_argument("--survey", type=_survey_name, metavar="SURVEY", default="PALFA")
     sim.add_argument("--observations", type=int, default=10)
     sim.add_argument("--executors", type=int, nargs="+", default=[1, 5, 10, 20])
     sim.add_argument("--data-gb", type=float, default=10.2,
@@ -381,6 +411,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.api import run_campaign
+    from repro.campaign.runner import CampaignConfig
+    from repro.campaign.scenarios import scenario_names
+
+    if args.scenario not in scenario_names():
+        print(f"unknown scenario {args.scenario!r}; "
+              f"expected one of {scenario_names()}", file=sys.stderr)
+        return 2
+    session = _obs_session(args.trace_out)
+    config = CampaignConfig(
+        scenario=args.scenario, seed=args.seed,
+        execution=_execution_config(args), obs_config=session,
+    )
+    if args.no_retrain:
+        config = dataclasses.replace(
+            config, retrain=dataclasses.replace(config.retrain, enabled=False)
+        )
+    result = run_campaign(config)
+    if session is not None:
+        session.close()
+    report = result.report
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(result.to_json() + "\n")
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"scenario: {report['scenario']} (seed {report['seed']}, "
+              f"retrain {'on' if report['retrain_enabled'] else 'off'})")
+        print(f"batches: {report['n_batches']}  tenants: {report['n_tenants']}")
+        print(f"drift detections: {report['n_drift_detections']}  "
+              f"retrains: {report['n_retrains']}  "
+              f"model swaps: {report['n_swaps']}")
+        print(f"{'phase':18s} {'tenant':8s} {'pulses':>6} {'true':>5} "
+              f"{'recall':>7} {'precis':>7} {'recall@final':>12}")
+        for phase in report["phases"]:
+            label = f"{phase['index']}:{phase['name']}"
+            for tid, m in sorted(phase["tenants"].items()):
+                rec = "-" if m["recall"] is None else f"{m['recall']:.3f}"
+                pre = ("-" if m["precision"] is None
+                       else f"{m['precision']:.3f}")
+                fin = ("-" if m.get("recall_final_model") is None
+                       else f"{m['recall_final_model']:.3f}")
+                print(f"{label:18s} {tid:8s} {m['n_pulses']:>6} "
+                      f"{m['n_true']:>5} {rec:>7} {pre:>7} {fin:>12}")
+        for d in report["drift_timeline"]:
+            print(f"drift @ batch {d['global_batch']:>3} "
+                  f"(phase {d['phase']}, {d['tenant']}): "
+                  f"{','.join(d['reasons'])} psi={d['psi']:.3f} "
+                  f"ks={d['ks']:.3f} rate×{d['rate_ratio']:.2f}")
+        for r in report["retrains"]:
+            print(f"retrain @ batch {r['global_batch']:>3}: model v{r['version']} "
+                  f"on {r['n_samples']} candidates ({r['n_positive']}+)")
+    print(f"report checksum: {result.checksum()}")
+    if args.trace_out:
+        print(f"trace written: {args.trace_out}")
+    if args.report_out:
+        print(f"report written: {args.report_out}")
+    return 0
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.astro.benchmark import build_benchmark
     from repro.core.alm import ALM_SCHEMES
@@ -534,6 +630,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "identify": _cmd_identify,
         "stream": _cmd_stream,
         "serve": _cmd_serve,
+        "campaign": _cmd_campaign,
         "classify": _cmd_classify,
         "simulate": _cmd_simulate,
         "trace-report": _cmd_trace_report,

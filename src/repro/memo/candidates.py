@@ -159,6 +159,23 @@ class CandidateDB:
             args,
         ).fetchall()
 
+    def recent(
+        self, limit: int = 500, *, labeled_only: bool = True
+    ) -> list[sqlite3.Row]:
+        """Most recently stored candidates, newest first.
+
+        The retraining controller's harvest window: ``labeled_only`` keeps
+        rows whose ``is_pulsar`` verdict is recorded (every campaign run
+        labels its candidates), so the harvest is a supervised sample of
+        the *current* regime.
+        """
+        where = " WHERE is_pulsar IS NOT NULL" if labeled_only else ""
+        return self._conn.execute(
+            "SELECT * FROM candidates" + where
+            + " ORDER BY candidate_id DESC LIMIT ?",
+            (limit,),
+        ).fetchall()
+
     def runs(self, limit: int = 50) -> list[sqlite3.Row]:
         return self._conn.execute(
             "SELECT * FROM runs ORDER BY run_id DESC LIMIT ?", (limit,)

@@ -83,6 +83,12 @@ SESSION_REJECTED = "session_rejected"
 SESSION_DEGRADED = "session_degraded"
 MODEL_SWAPPED = "model_swapped"
 
+# Campaign subsystem (repro.campaign): drift monitors and online retraining.
+CAMPAIGN_PHASE = "campaign_phase"
+DRIFT_DETECTED = "drift_detected"
+RETRAIN_STARTED = "retrain_started"
+RETRAIN_COMPLETED = "retrain_completed"
+
 
 class EventLog:
     """Append-only structured event sink.

@@ -19,12 +19,15 @@ from repro.obs.events import (
     DFS_HEARTBEAT,
     DFS_PUT,
     DFS_REREPLICATE,
+    DRIFT_DETECTED,
     EXECUTOR_BLACKLISTED,
     EXECUTOR_LOST,
     FAULT_INJECTED,
     JOB_END,
     JOB_START,
     KERNEL_SELECTED,
+    MODEL_SWAPPED,
+    RETRAIN_COMPLETED,
     SHM_SEGMENT_CREATED,
     SHM_SEGMENT_RELEASED,
     SIM_STAGE,
@@ -265,6 +268,33 @@ def build_report(
         if e["type"] == SIM_STAGE
     ]
 
+    # -- model serving: swaps and drift ------------------------------------
+    model_swaps = [
+        {
+            k: e[k]
+            for k in ("batch_id", "old_version", "version", "tenant")
+            if k in e
+        }
+        for e in events
+        if e["type"] == MODEL_SWAPPED
+    ]
+    drift_events = [
+        {
+            k: e[k]
+            for k in ("batch_id", "tenant", "psi", "ks", "rate_ratio", "reasons")
+            if k in e
+        }
+        for e in events
+        if e["type"] == DRIFT_DETECTED
+    ]
+    serving = {
+        "n_model_swaps": len(model_swaps),
+        "model_swaps": model_swaps,
+        "n_drift_detections": len(drift_events),
+        "drift_detections": drift_events,
+        "n_retrains": sum(1 for e in events if e["type"] == RETRAIN_COMPLETED),
+    }
+
     # -- front-end kernels -------------------------------------------------
     # Which kernels the run resolved to (kernel_selected events) and how
     # long each kernel stage actually took ("kernel.*" spans, aggregated).
@@ -330,6 +360,7 @@ def build_report(
         "spans": spans,
         "sim_stages": sim_stages,
         "kernels": kernels,
+        "serving": serving,
     }
 
 
@@ -456,6 +487,24 @@ def render_text(report: dict[str, Any]) -> str:
                     ["stage", "count", "total s", "max s"],
                     [[r["stage"], r["count"], r["total_s"], r["max_s"]]
                      for r in kernels["stages"]],
+                )
+            )
+
+    serving = report.get("serving", {})
+    if serving.get("n_model_swaps") or serving.get("n_drift_detections"):
+        out.append("\n== model serving ==")
+        out.append(
+            f"swaps={serving['n_model_swaps']}  "
+            f"drift-detections={serving['n_drift_detections']}  "
+            f"retrains={serving['n_retrains']}"
+        )
+        if serving.get("model_swaps"):
+            out.append(
+                _table(
+                    ["batch", "old", "new", "tenant"],
+                    [[r.get("batch_id", "?"), r.get("old_version", "-"),
+                      r.get("version", "?"), r.get("tenant", "-") or "-"]
+                     for r in serving["model_swaps"]],
                 )
             )
 

@@ -392,9 +392,12 @@ class MicroBatchEngine:
         # 4. Job + serving: the finalized work as a real Sparklet job.  A
         # pending model swap takes effect here — at the batch boundary,
         # never mid-batch (see ModelCache).
-        if self.scorer is not None and self.scorer.refresh():
-            obs.emit(MODEL_SWAPPED, batch_id=batch_id,
-                     version=self.scorer.version)
+        if self.scorer is not None:
+            prev_version = self.scorer.version
+            if self.scorer.refresh():
+                obs.emit(MODEL_SWAPPED, batch_id=batch_id,
+                         old_version=prev_version,
+                         version=self.scorer.version)
         pulses, metrics = self._run_batch_job(batch_id, units)
         n_scored = 0
         if self.scorer is not None and len(pulses):

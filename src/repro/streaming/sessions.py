@@ -149,6 +149,9 @@ class SessionManager:
         #: When the shared serial driver is next free (simulated seconds).
         self.t_free = 0.0
         self.n_batches = 0
+        #: Tenant whose batch :meth:`run_next_batch` executed last — lets a
+        #: caller driving the loop attribute the returned stats.
+        self.last_tenant: str | None = None
 
     # -- registration --------------------------------------------------------
     def add_session(self, tenant_id: str, engine: MicroBatchEngine, *,
@@ -273,6 +276,7 @@ class SessionManager:
         self.t_free = stats.completed_s
         self.pools.charge(tenant_id, stats.processing_s)
         self.n_batches += 1
+        self.last_tenant = tenant_id
         return stats
 
     def run(self) -> None:

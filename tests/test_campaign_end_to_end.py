@@ -1,0 +1,148 @@
+"""The campaign gate: drift is detected, retraining recovers recall.
+
+One seeded three-phase campaign (quiet baseline → RFI storm season → a
+half-gain CHIME tenant joining) is run four ways — retrain-on twice,
+retrain-off (the ablation), and retrain-on over the parallel execution
+backend — and the suite checks the headline claims:
+
+- no drift declaration during the quiet baseline phase;
+- drift is declared within ``LATENCY`` global batches of each regime
+  change (the storm onset and the newcomer's arrival);
+- drift-triggered retraining + hot-swap restores the newcomer's
+  injected-pulse recall to within 5 points of the anchor's baseline
+  recall, while the no-retrain ablation stays degraded;
+- the canonical report is byte-identical across repeated runs and across
+  serial/parallel backends (``CampaignResult.checksum``).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import run_campaign
+from repro.campaign import CampaignConfig, RetrainConfig
+from repro.execution import ExecutionConfig
+
+SEED = 0
+#: Global-batch budget for declaring drift after a regime change.
+LATENCY = 12
+#: Recovered recall must be within this of the quiet-baseline recall.
+MARGIN = 0.05
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(CampaignConfig(scenario="three-phase", seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    cfg = CampaignConfig(
+        scenario="three-phase", seed=SEED,
+        retrain=dataclasses.replace(RetrainConfig(), enabled=False),
+    )
+    return run_campaign(cfg)
+
+
+def _phase_start(report, p):
+    return report["phases"][p]["started_at_global_batch"]
+
+
+def test_campaign_runs_all_phases_and_tenants(campaign):
+    r = campaign.report
+    assert r["n_tenants"] == 2
+    assert [p["name"] for p in r["phases"]] == [
+        "baseline", "storm-season", "expansion"]
+    assert _phase_start(r, 0) == 0
+    assert 0 < _phase_start(r, 1) < _phase_start(r, 2) < r["n_batches"]
+    # chime only appears once it joins.
+    assert set(r["phases"][0]["tenants"]) == {"gbt"}
+    assert set(r["phases"][2]["tenants"]) == {"chime", "gbt"}
+    # Every phase scored a meaningful pulse sample.
+    for phase in r["phases"]:
+        for m in phase["tenants"].values():
+            assert m["n_pulses"] > 10 and m["n_true"] > 5
+
+
+def test_no_drift_declared_in_the_quiet_baseline(campaign):
+    assert all(d["phase"] >= 1 for d in campaign.drift_timeline)
+
+
+@pytest.mark.parametrize("phase", [1, 2])
+def test_drift_detected_promptly_after_each_regime_change(campaign, phase):
+    start = _phase_start(campaign.report, phase)
+    latencies = [d["global_batch"] - start
+                 for d in campaign.drift_timeline if d["phase"] == phase]
+    assert latencies, f"no drift declared in phase {phase}"
+    assert min(latencies) <= LATENCY, (
+        f"phase {phase} drift declared {min(latencies)} batches after onset"
+    )
+
+
+def test_retraining_recovers_newcomer_recall(campaign):
+    baseline = campaign.phase_metrics("gbt", 0)["recall"]
+    assert baseline is not None and baseline >= 0.8
+    chime = campaign.phase_metrics("chime", 2)
+    # After the hot-swap the newcomer's recall is within MARGIN of the
+    # quiet-baseline recall (the final model serves it well).
+    assert chime["final_model_version"] > 1, "no retrained model served chime"
+    assert chime["recall_final_model"] >= baseline - MARGIN
+    assert campaign.report["n_retrains"] >= 1
+    assert campaign.report["n_swaps"] >= 1
+
+
+def test_ablation_without_retraining_stays_degraded(campaign, ablation):
+    r = ablation.report
+    assert r["retrain_enabled"] is False
+    assert r["n_retrains"] == 0 and r["n_swaps"] == 0
+    # Drift is still *detected* (monitors run regardless)...
+    assert r["n_drift_detections"] >= 1
+    # ...but the stale model keeps serving: the newcomer stays well below
+    # the recovered recall and below the baseline-minus-margin bar.
+    baseline = campaign.phase_metrics("gbt", 0)["recall"]
+    stale = ablation.phase_metrics("chime", 2)
+    recovered = campaign.phase_metrics("chime", 2)["recall_final_model"]
+    assert stale["final_model_version"] == 1
+    assert stale["recall_final_model"] < baseline - MARGIN
+    assert stale["recall_final_model"] < recovered - 0.2
+
+
+def test_retrain_events_are_causally_ordered(campaign):
+    r = campaign.report
+    drift_batches = [d["global_batch"] for d in r["drift_timeline"]]
+    assert drift_batches == sorted(drift_batches)
+    versions = [s["version"] for s in r["swaps"]]
+    assert versions == sorted(versions)
+    for retrain in r["retrains"]:
+        # Every retrain is a response to a drift declaration at that batch.
+        assert retrain["global_batch"] in drift_batches
+        assert retrain["n_samples"] >= 1
+        assert 0 < retrain["n_positive"] < retrain["n_samples"]
+    for swap in r["swaps"]:
+        assert swap["version"] == swap["old_version"] + 1
+
+
+def test_report_is_deterministic_across_runs(campaign):
+    again = run_campaign(CampaignConfig(scenario="three-phase", seed=SEED))
+    assert again.checksum() == campaign.checksum()
+    assert again.to_json() == campaign.to_json()
+
+
+def test_report_is_identical_across_execution_backends(campaign):
+    parallel = run_campaign(CampaignConfig(
+        scenario="three-phase", seed=SEED,
+        execution=ExecutionConfig(backend="parallel", num_workers=2),
+    ))
+    assert parallel.checksum() == campaign.checksum()
+
+
+def test_cli_campaign_matches_the_api(campaign, tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "report.json"
+    assert main(["campaign", "--seed", str(SEED),
+                 "--report-out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert campaign.checksum() in text
+    assert json.loads(out.read_text()) == campaign.report

@@ -1,0 +1,211 @@
+"""Scenario compilation, survey presets, and the RFI storm generator."""
+
+import numpy as np
+import pytest
+
+from repro.astro import SurveyConfig
+from repro.astro.population import synthesize_population
+from repro.astro.rfi import RFIStormModel, generate_storm_rfi_spes
+from repro.astro.survey import GBT350DRIFT, generate_observation
+from repro.campaign.scenarios import (
+    PhaseConfig,
+    Scenario,
+    TenantTimeline,
+    compile_scenario,
+    resolve_scenario,
+    scenario_names,
+    three_phase_scenario,
+)
+
+
+# ---------------------------------------------------------------------------
+# Survey presets
+# ---------------------------------------------------------------------------
+def test_presets_cover_all_four_surveys():
+    presets = SurveyConfig.presets()
+    assert set(presets) == {"GBT350Drift", "PALFA", "CHIME", "FAST-CRAFTS"}
+    for name, cfg in presets.items():
+        assert cfg.name == name
+
+
+@pytest.mark.parametrize(
+    "alias, canonical",
+    [
+        ("gbt", "GBT350Drift"),
+        ("GBT350Drift", "GBT350Drift"),
+        ("chime", "CHIME"),
+        ("Chime", "CHIME"),
+        ("fast", "FAST-CRAFTS"),
+        ("crafts", "FAST-CRAFTS"),
+        ("palfa", "PALFA"),
+    ],
+)
+def test_preset_lookup_accepts_aliases(alias, canonical):
+    assert SurveyConfig.preset(alias).name == canonical
+
+
+def test_preset_lookup_rejects_unknown_survey():
+    with pytest.raises(KeyError, match="SUPERB"):
+        SurveyConfig.preset("SUPERB")
+
+
+def test_preset_returns_the_module_singletons():
+    assert SurveyConfig.preset("gbt350drift") is GBT350DRIFT
+
+
+def test_new_presets_have_physical_parameters():
+    chime = SurveyConfig.preset("CHIME")
+    fast = SurveyConfig.preset("FAST-CRAFTS")
+    assert chime.center_freq_mhz < GBT350DRIFT.center_freq_mhz * 3
+    assert chime.max_dm > GBT350DRIFT.max_dm
+    assert fast.n_beams == 19
+    assert fast.max_dm > 0 and fast.bandwidth_mhz > 0
+
+
+# ---------------------------------------------------------------------------
+# Storm generator
+# ---------------------------------------------------------------------------
+def test_storm_generator_is_deterministic_for_a_seed():
+    storm = RFIStormModel(p_on=0.4, p_off=0.2, interval_s=2.0,
+                          quiet_rate_hz=0.3, storm_rate_multiplier=8.0)
+    grid = GBT350DRIFT.dm_grid(coarsen=10.0)
+    a_spes, a_win = generate_storm_rfi_spes(
+        storm, 30.0, grid, rng=np.random.default_rng(42))
+    b_spes, b_win = generate_storm_rfi_spes(
+        storm, 30.0, grid, rng=np.random.default_rng(42))
+    assert a_win == b_win
+    assert [(s.dm, s.snr, s.time_s) for s in a_spes] == [
+        (s.dm, s.snr, s.time_s) for s in b_spes]
+
+
+def test_storm_windows_stay_inside_the_observation():
+    storm = RFIStormModel(p_on=0.5, p_off=0.1, start_in_storm=True)
+    windows = storm.windows(60.0, np.random.default_rng(3))
+    assert windows, "a storm-biased chain should produce windows"
+    for lo, hi in windows:
+        assert 0.0 <= lo < hi <= 60.0
+
+
+def test_storm_rate_multiplier_raises_burst_count():
+    grid = GBT350DRIFT.dm_grid(coarsen=10.0)
+    quiet = RFIStormModel(p_on=0.0, quiet_rate_hz=0.2,
+                          storm_rate_multiplier=1.0)
+    stormy = RFIStormModel(p_on=1.0, p_off=0.0, start_in_storm=True,
+                           quiet_rate_hz=0.2, storm_rate_multiplier=10.0)
+    n_quiet = len(generate_storm_rfi_spes(
+        quiet, 120.0, grid, rng=np.random.default_rng(5))[0])
+    n_storm = len(generate_storm_rfi_spes(
+        stormy, 120.0, grid, rng=np.random.default_rng(5))[0])
+    assert n_storm > 2 * max(1, n_quiet)
+
+
+def test_generate_observation_old_signature_unchanged():
+    """``gain=1.0, storm=None`` must be a byte-identical no-op — the new
+    keywords cannot perturb pre-campaign callers."""
+    pulsars = synthesize_population(2, max_dm=80.0, seed=1)
+    kwargs = dict(mjd=55000.0, beam=0, n_noise_clusters=10,
+                  n_rfi_bursts=1, seed=9, obs_length_s=10.0)
+    old = generate_observation(GBT350DRIFT, pulsars, **kwargs)
+    new = generate_observation(GBT350DRIFT, pulsars, gain=1.0, storm=None,
+                               **kwargs)
+    assert [(s.dm, s.snr, s.time_s, s.sample, s.downfact)
+            for s in old.spes] == [
+        (s.dm, s.snr, s.time_s, s.sample, s.downfact) for s in new.spes]
+    assert np.array_equal(old.labels, new.labels)
+
+
+def test_gain_scales_astrophysical_snr():
+    pulsars = synthesize_population(2, max_dm=80.0, seed=1)
+    kwargs = dict(mjd=55000.0, beam=0, n_noise_clusters=0,
+                  n_rfi_bursts=0, seed=9, obs_length_s=10.0)
+    full = generate_observation(GBT350DRIFT, pulsars, gain=1.0, **kwargs)
+    half = generate_observation(GBT350DRIFT, pulsars, gain=0.5, **kwargs)
+    # Same seed → same draws; the surviving half-gain events are weaker.
+    full_by_t = {s.time_s: s.snr for s in full.spes}
+    overlapping = [(full_by_t[s.time_s], s.snr) for s in half.spes
+                   if s.time_s in full_by_t]
+    assert overlapping and all(h <= f for f, h in overlapping)
+    assert len(half.spes) <= len(full.spes)
+
+
+# ---------------------------------------------------------------------------
+# Scenario compilation
+# ---------------------------------------------------------------------------
+def test_scenario_registry_and_resolution():
+    assert scenario_names() == ["three-phase"]
+    s = resolve_scenario("three-phase")
+    assert isinstance(s, Scenario) and s.name == "three-phase"
+    assert resolve_scenario(s) is s
+    with pytest.raises(ValueError, match="unknown scenario"):
+        resolve_scenario("five-phase")
+
+
+def test_three_phase_scenario_shape():
+    s = three_phase_scenario()
+    assert [p.name for p in s.phases] == [
+        "baseline", "storm-season", "expansion"]
+    assert s.phases[0].storm is None
+    assert s.phases[1].storm is not None and s.phases[2].storm is not None
+    gbt, chime = s.tenants
+    assert gbt.joins_at_phase == 0 and chime.joins_at_phase == 2
+    assert chime.survey == "CHIME" and chime.gain < 1.0
+
+
+def test_compile_is_deterministic_and_keys_are_unique():
+    s = three_phase_scenario()
+    a = compile_scenario(s, seed=5)
+    b = compile_scenario(s, seed=5)
+    assert a.phase_of_key == b.phase_of_key
+    assert a.tenant_of_key == b.tenant_of_key
+    assert a.anchor_items_before_phase == b.anchor_items_before_phase
+    for tid in a.observations:
+        assert [o.key.to_key() for o in a.observations[tid]] == [
+            o.key.to_key() for o in b.observations[tid]]
+    # Keys are globally unique across tenants and phases.
+    all_keys = [o.key.to_key() for obs in a.observations.values()
+                for o in obs]
+    assert len(set(all_keys)) == len(all_keys)
+
+
+def test_compile_covers_every_active_tenant_phase():
+    s = three_phase_scenario()
+    compiled = compile_scenario(s, seed=0)
+    assert compiled.anchor_tenant == "gbt"
+    assert compiled.phases_of("gbt") == [0, 1, 2]
+    assert compiled.phases_of("chime") == [2]
+    # The anchor has observations in every phase, chime only in phase 2.
+    gbt_phases = {compiled.phase_of_key[o.key.to_key()]
+                  for o in compiled.observations["gbt"]}
+    chime_phases = {compiled.phase_of_key[o.key.to_key()]
+                    for o in compiled.observations["chime"]}
+    assert gbt_phases == {0, 1, 2} and chime_phases == {2}
+    # Join thresholds are monotone and start at zero.
+    thresholds = [compiled.anchor_items_before_phase[p] for p in range(3)]
+    assert thresholds[0] == 0
+    assert thresholds == sorted(thresholds) and thresholds[1] > 0
+
+
+def test_different_seeds_produce_different_campaigns():
+    s = three_phase_scenario()
+    a = compile_scenario(s, seed=0)
+    b = compile_scenario(s, seed=1)
+    a_spes = [x.snr for o in a.observations["gbt"] for x in o.spes]
+    b_spes = [x.snr for o in b.observations["gbt"] for x in o.spes]
+    assert a_spes != b_spes
+
+
+def test_scenario_validation_rejects_bad_timelines():
+    phase = PhaseConfig("only")
+    with pytest.raises(ValueError, match="duplicate tenant"):
+        Scenario("dup", (phase,),
+                 (TenantTimeline("a"), TenantTimeline("a")))
+    with pytest.raises(ValueError, match="anchor"):
+        Scenario("late-anchor", (phase, PhaseConfig("second")),
+                 (TenantTimeline("a", joins_at_phase=1),))
+    with pytest.raises(ValueError, match="outside the timeline"):
+        Scenario("oob", (phase,),
+                 (TenantTimeline("a"), TenantTimeline("b", joins_at_phase=3)))
+    with pytest.raises(ValueError, match="at least one phase"):
+        Scenario("empty", (), (TenantTimeline("a"),))
+    with pytest.raises(ValueError, match="gain must be positive"):
+        PhaseConfig("bad", gain=0.0)
